@@ -1,0 +1,86 @@
+// Regenerates the §6.5 efficiency-source analysis, which the paper reports
+// in prose for Twitter: (1) sparsification reduces edges traversed, (2)
+// sketch guidance reduces them further versus plain Bi-BFS, (3) the Δ
+// precomputation removes landmark-landmark recovery work. Also ablates the
+// landmark selection strategy (degree vs. random, the §8 future-work hook).
+
+#include <cstdio>
+
+#include "baselines/bibfs.h"
+#include "bench/bench_common.h"
+#include "core/qbs_index.h"
+#include "util/timer.h"
+
+namespace qbs::bench {
+namespace {
+
+void Run() {
+  std::printf("Ablation (Section 6.5): edges traversed and design-choice "
+              "effects, |R| = 20, %zu pairs\n",
+              EnvPairs());
+  TablePrinter table("Ablation",
+                     {"Dataset", "scan.BiBFS", "scan.QbS", "ratio",
+                      "skipped", "q.noDelta", "q.Delta", "q.randomLm"},
+                     {12, 11, 11, 7, 11, 10, 10, 11});
+
+  for (const auto& spec : SelectedDatasets()) {
+    const LoadedDataset d = LoadDataset(spec);
+    const Graph& g = d.graph;
+
+    QbsOptions options;
+    options.num_landmarks = 20;
+    options.num_threads = EnvThreads();
+    QbsIndex qbs = QbsIndex::Build(g, options);
+
+    QbsOptions delta_options = options;
+    delta_options.precompute_delta = true;
+    QbsIndex qbs_delta = QbsIndex::Build(g, delta_options);
+
+    QbsOptions random_options = options;
+    random_options.landmark_strategy = LandmarkStrategy::kRandom;
+    QbsIndex qbs_random = QbsIndex::Build(g, random_options);
+
+    BiBfs bibfs(g);
+
+    uint64_t bibfs_scans = 0;
+    for (const auto& [u, v] : d.pairs) {
+      uint64_t scans = 0;
+      bibfs.Query(u, v, &scans);
+      bibfs_scans += scans;
+    }
+
+    uint64_t qbs_scans = 0;
+    uint64_t skipped = 0;
+    WallTimer timer;
+    for (const auto& [u, v] : d.pairs) {
+      SearchStats stats;
+      qbs.Query(u, v, &stats);
+      qbs_scans += stats.TotalEdgesScanned();
+      skipped += stats.landmark_edges_skipped;
+    }
+    const double q_nodelta = timer.ElapsedMillis() / d.pairs.size();
+
+    timer.Reset();
+    for (const auto& [u, v] : d.pairs) qbs_delta.Query(u, v);
+    const double q_delta = timer.ElapsedMillis() / d.pairs.size();
+
+    timer.Reset();
+    for (const auto& [u, v] : d.pairs) qbs_random.Query(u, v);
+    const double q_random = timer.ElapsedMillis() / d.pairs.size();
+
+    const double avg_bibfs =
+        static_cast<double>(bibfs_scans) / d.pairs.size();
+    const double avg_qbs = static_cast<double>(qbs_scans) / d.pairs.size();
+    table.Row({spec.abbrev, FormatDouble(avg_bibfs, 0),
+               FormatDouble(avg_qbs, 0),
+               FormatDouble(avg_qbs / std::max(1.0, avg_bibfs), 3),
+               FormatDouble(static_cast<double>(skipped) / d.pairs.size(), 0),
+               FormatMs(q_nodelta), FormatMs(q_delta), FormatMs(q_random)});
+  }
+  table.Footer();
+}
+
+}  // namespace
+}  // namespace qbs::bench
+
+int main() { qbs::bench::Run(); }

@@ -1,0 +1,118 @@
+#include "bench/bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+namespace qbs::bench {
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* s = std::getenv(name);
+  return s == nullptr ? fallback : std::atof(s);
+}
+
+}  // namespace
+
+double EnvScale() { return EnvDouble("QBS_BENCH_SCALE", 1.0); }
+
+size_t EnvPairs() {
+  return static_cast<size_t>(EnvDouble("QBS_BENCH_PAIRS", 500));
+}
+
+double EnvBudgetSeconds() { return EnvDouble("QBS_BENCH_BUDGET", 10.0); }
+
+size_t EnvThreads() {
+  const double v = EnvDouble("QBS_BENCH_THREADS", 0);
+  if (v > 0) return static_cast<size_t>(v);
+  const size_t hw = std::thread::hardware_concurrency();
+  // The paper parallelizes QbS-P with up to 12 threads.
+  return std::min<size_t>(hw == 0 ? 1 : hw, 12);
+}
+
+std::vector<DatasetSpec> SelectedDatasets() {
+  std::vector<DatasetSpec> result;
+  const char* filter = std::getenv("QBS_BENCH_DATASETS");
+  if (filter == nullptr) return PaperDatasets();
+  std::string s(filter);
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    for (const auto& spec : PaperDatasets()) {
+      if (spec.abbrev == item) result.push_back(spec);
+    }
+  }
+  return result;
+}
+
+LoadedDataset LoadDataset(const DatasetSpec& spec) {
+  LoadedDataset d;
+  d.spec = spec;
+  d.graph = MakeDataset(spec, EnvScale());
+  d.pairs = SampleQueryPairs(d.graph, EnvPairs(), /*seed=*/20210402);
+  return d;
+}
+
+TablePrinter::TablePrinter(std::string title,
+                           std::vector<std::string> columns,
+                           std::vector<int> widths)
+    : columns_(std::move(columns)), widths_(std::move(widths)) {
+  std::printf("\n== %s ==\n", title.c_str());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    std::printf("%-*s ", widths_[i], columns_[i].c_str());
+  }
+  std::printf("\n");
+  int total = 0;
+  for (int w : widths_) total += w + 1;
+  for (int i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+}
+
+void TablePrinter::Row(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+    std::printf("%-*s ", widths_[i], cells[i].c_str());
+  }
+  std::printf("\n");
+  std::printf("csv");
+  for (const auto& c : cells) std::printf(",%s", c.c_str());
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+void TablePrinter::Footer() const { std::printf("\n"); }
+
+std::string HumanBytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= (1ull << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.2fGB",
+                  static_cast<double>(bytes) / (1ull << 30));
+  } else if (bytes >= (1ull << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.2fMB",
+                  static_cast<double>(bytes) / (1ull << 20));
+  } else if (bytes >= (1ull << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.2fKB",
+                  static_cast<double>(bytes) / (1ull << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluB",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FormatMs(double ms) {
+  return FormatDouble(ms, ms < 1.0 ? 4 : (ms < 100.0 ? 2 : 1));
+}
+
+std::string FormatSeconds(double seconds) {
+  return FormatDouble(seconds, seconds < 1.0 ? 3 : 2);
+}
+
+}  // namespace qbs::bench

@@ -1,0 +1,66 @@
+// Shared harness for the per-table / per-figure benchmark binaries.
+//
+// Environment knobs (all optional):
+//   QBS_BENCH_SCALE     dataset size multiplier (default 1.0)
+//   QBS_BENCH_PAIRS     query pairs per dataset (default 500; paper: 10,000)
+//   QBS_BENCH_BUDGET    PPL/ParentPPL construction budget in seconds
+//                       (default 10; the paper's cutoff is 24 h => DNF)
+//   QBS_BENCH_THREADS   threads for QbS-P (default min(12, hardware),
+//                       mirroring the paper's 12-thread setup)
+//   QBS_BENCH_DATASETS  comma-separated abbreviations to run (default all,
+//                       e.g. "DO,DB,YT")
+
+#ifndef QBS_BENCH_BENCH_COMMON_H_
+#define QBS_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "workload/dataset_registry.h"
+#include "workload/query_workload.h"
+
+namespace qbs::bench {
+
+double EnvScale();
+size_t EnvPairs();
+double EnvBudgetSeconds();
+size_t EnvThreads();
+
+// Registry datasets selected by QBS_BENCH_DATASETS (default: all 12).
+std::vector<DatasetSpec> SelectedDatasets();
+
+struct LoadedDataset {
+  DatasetSpec spec;
+  Graph graph;
+  std::vector<QueryPair> pairs;
+};
+
+// Generates the dataset at the env scale and samples the env pair count.
+LoadedDataset LoadDataset(const DatasetSpec& spec);
+
+// Fixed-width aligned table output. Also echoes each row as CSV to make
+// figure series machine-readable (prefix "csv,").
+class TablePrinter {
+ public:
+  TablePrinter(std::string title, std::vector<std::string> columns,
+               std::vector<int> widths);
+  void Row(const std::vector<std::string>& cells);
+  void Footer() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<int> widths_;
+};
+
+std::string HumanBytes(uint64_t bytes);
+std::string FormatDouble(double value, int precision);
+// Milliseconds with adaptive precision (microsecond regime keeps 3+
+// decimals, like the paper's Table 2).
+std::string FormatMs(double ms);
+std::string FormatSeconds(double seconds);
+
+}  // namespace qbs::bench
+
+#endif  // QBS_BENCH_BENCH_COMMON_H_

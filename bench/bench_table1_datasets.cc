@@ -1,0 +1,42 @@
+// Regenerates Table 1: dataset statistics — |V|, |E|, max degree, average
+// degree, average distance over sampled pairs, and the in-memory graph size
+// |G| — for the 12 synthetic stand-ins, alongside the paper's reference
+// values for the real datasets.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "workload/query_workload.h"
+
+namespace qbs::bench {
+namespace {
+
+void Run() {
+  std::printf("Table 1: datasets (stand-ins at scale %.2f; paper values in "
+              "the right columns)\n",
+              EnvScale());
+  TablePrinter table(
+      "Table 1",
+      {"Dataset", "|V|", "|E|", "max.deg", "avg.deg", "avg.dist", "|G|",
+       "paper|V|", "paper|E|", "paper.deg", "paper.dist"},
+      {12, 9, 9, 8, 8, 8, 10, 9, 9, 9, 10});
+  for (const auto& spec : SelectedDatasets()) {
+    const LoadedDataset d = LoadDataset(spec);
+    const auto dist = ComputeDistanceDistribution(d.graph, d.pairs);
+    table.Row({spec.abbrev, std::to_string(d.graph.NumVertices()),
+               std::to_string(d.graph.NumEdges()),
+               std::to_string(d.graph.MaxDegree()),
+               FormatDouble(d.graph.AverageDegree(), 2),
+               FormatDouble(dist.Mean(), 2), HumanBytes(d.graph.SizeBytes()),
+               FormatDouble(spec.paper_vertices_m, 1) + "M",
+               FormatDouble(spec.paper_edges_m, 1) + "M",
+               FormatDouble(spec.paper_avg_deg, 2),
+               FormatDouble(spec.paper_avg_dist, 1)});
+  }
+  table.Footer();
+}
+
+}  // namespace
+}  // namespace qbs::bench
+
+int main() { qbs::bench::Run(); }

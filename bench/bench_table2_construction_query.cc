@@ -1,0 +1,107 @@
+// Regenerates Table 2: construction time (QbS-P, QbS, PPL, ParentPPL) and
+// average query time (QbS, PPL, ParentPPL, Bi-BFS) per dataset.
+//
+// PPL / ParentPPL run under a construction budget (QBS_BENCH_BUDGET,
+// default 10 s — the paper's cutoff is 24 h); exceeding it prints DNF, and
+// exceeding the entry cap prints OOE, reproducing the paper's failure
+// annotations. The expected *shape*: QbS-P fastest to build, QbS query
+// times orders of magnitude below Bi-BFS, PPL/ParentPPL failing beyond the
+// small datasets.
+
+#include <cstdio>
+
+#include "baselines/bibfs.h"
+#include "baselines/parent_ppl.h"
+#include "baselines/ppl.h"
+#include "bench/bench_common.h"
+#include "core/qbs_index.h"
+#include "util/timer.h"
+
+namespace qbs::bench {
+namespace {
+
+constexpr uint64_t kMaxLabelEntries = 80'000'000;  // ~entry cap => OOE
+
+std::string StatusString(BuildStatus status) {
+  return status == BuildStatus::kTimeBudgetExceeded ? "DNF" : "OOE";
+}
+
+void Run() {
+  std::printf("Table 2: construction time (s) and average query time (ms); "
+              "%zu pairs, budget %.1fs, %zu threads\n",
+              EnvPairs(), EnvBudgetSeconds(), EnvThreads());
+  TablePrinter table(
+      "Table 2",
+      {"Dataset", "QbS-P(s)", "QbS(s)", "PPL(s)", "PPPL(s)", "qQbS(ms)",
+       "qPPL(ms)", "qPPPL(ms)", "qBiBFS(ms)"},
+      {12, 9, 9, 9, 9, 10, 10, 10, 10});
+
+  for (const auto& spec : SelectedDatasets()) {
+    const LoadedDataset d = LoadDataset(spec);
+    const Graph& g = d.graph;
+
+    // QbS-P (parallel labelling construction).
+    QbsOptions par_options;
+    par_options.num_landmarks = 20;
+    par_options.num_threads = EnvThreads();
+    QbsIndex qbsp = QbsIndex::Build(g, par_options);
+    const double qbsp_seconds = qbsp.timings().labeling_seconds;
+
+    // QbS (sequential).
+    QbsOptions seq_options;
+    seq_options.num_landmarks = 20;
+    seq_options.num_threads = 1;
+    QbsIndex qbs = QbsIndex::Build(g, seq_options);
+    const double qbs_seconds = qbs.timings().labeling_seconds;
+
+    // PPL / ParentPPL under budget.
+    PplBuildOptions budget;
+    budget.time_budget_seconds = EnvBudgetSeconds();
+    budget.max_label_entries = kMaxLabelEntries;
+    WallTimer timer;
+    BuildStatus ppl_status;
+    auto ppl = PplIndex::Build(g, budget, &ppl_status);
+    const double ppl_seconds = timer.ElapsedSeconds();
+    timer.Reset();
+    BuildStatus pppl_status;
+    auto pppl = ParentPplIndex::Build(g, budget, &pppl_status);
+    const double pppl_seconds = timer.ElapsedSeconds();
+
+    // Query timings.
+    WallTimer qtimer;
+    for (const auto& [u, v] : d.pairs) qbs.Query(u, v);
+    const double q_qbs = qtimer.ElapsedMillis() / d.pairs.size();
+
+    std::string q_ppl = "-";
+    if (ppl.has_value()) {
+      qtimer.Reset();
+      for (const auto& [u, v] : d.pairs) ppl->QuerySpg(u, v);
+      q_ppl = FormatMs(qtimer.ElapsedMillis() / d.pairs.size());
+    }
+    std::string q_pppl = "-";
+    if (pppl.has_value()) {
+      qtimer.Reset();
+      for (const auto& [u, v] : d.pairs) pppl->QuerySpg(u, v);
+      q_pppl = FormatMs(qtimer.ElapsedMillis() / d.pairs.size());
+    }
+
+    BiBfs bibfs(g);
+    qtimer.Reset();
+    for (const auto& [u, v] : d.pairs) bibfs.Query(u, v);
+    const double q_bibfs = qtimer.ElapsedMillis() / d.pairs.size();
+
+    table.Row({spec.abbrev, FormatSeconds(qbsp_seconds),
+               FormatSeconds(qbs_seconds),
+               ppl.has_value() ? FormatSeconds(ppl_seconds)
+                               : StatusString(ppl_status),
+               pppl.has_value() ? FormatSeconds(pppl_seconds)
+                                : StatusString(pppl_status),
+               FormatMs(q_qbs), q_ppl, q_pppl, FormatMs(q_bibfs)});
+  }
+  table.Footer();
+}
+
+}  // namespace
+}  // namespace qbs::bench
+
+int main() { qbs::bench::Run(); }

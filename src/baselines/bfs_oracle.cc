@@ -1,0 +1,47 @@
+#include "baselines/bfs_oracle.h"
+
+#include "graph/bfs.h"
+#include "util/check.h"
+
+namespace qbs {
+
+ShortestPathGraph SpgFromDistances(const Graph& g, VertexId u, VertexId v,
+                                   const std::vector<uint32_t>& dist_u,
+                                   const std::vector<uint32_t>& dist_v) {
+  QBS_CHECK_EQ(dist_u.size(), g.NumVertices());
+  QBS_CHECK_EQ(dist_v.size(), g.NumVertices());
+  ShortestPathGraph spg;
+  spg.u = u;
+  spg.v = v;
+  spg.distance = dist_u[v];
+  if (spg.distance == kUnreachable || u == v) return spg;
+
+  for (VertexId x = 0; x < g.NumVertices(); ++x) {
+    if (dist_u[x] == kUnreachable || dist_u[x] >= spg.distance) continue;
+    for (VertexId y : g.Neighbors(x)) {
+      if (dist_v[y] == kUnreachable) continue;
+      if (dist_u[x] + 1 + dist_v[y] == spg.distance) {
+        spg.edges.emplace_back(x, y);
+      }
+    }
+  }
+  spg.Normalize();
+  return spg;
+}
+
+ShortestPathGraph SpgByDoubleBfs(const Graph& g, VertexId u, VertexId v) {
+  QBS_CHECK_LT(u, g.NumVertices());
+  QBS_CHECK_LT(v, g.NumVertices());
+  if (u == v) {
+    ShortestPathGraph spg;
+    spg.u = u;
+    spg.v = v;
+    spg.distance = 0;
+    return spg;
+  }
+  const std::vector<uint32_t> dist_u = BfsDistances(g, u);
+  const std::vector<uint32_t> dist_v = BfsDistances(g, v);
+  return SpgFromDistances(g, u, v, dist_u, dist_v);
+}
+
+}  // namespace qbs

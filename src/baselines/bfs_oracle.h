@@ -1,0 +1,31 @@
+// Ground-truth SPG computation by two full breadth-first searches.
+//
+// An edge (x, y) lies on a shortest u–v path iff
+//   d(u,x) + 1 + d(y,v) == d(u,v)   (in either orientation),
+// so two BFS distance arrays and one edge sweep produce the exact answer in
+// O(|V| + |E|). This is the correctness reference every index in the
+// library is validated against; it is intentionally the most obviously
+// correct implementation, not the fastest.
+
+#ifndef QBS_BASELINES_BFS_ORACLE_H_
+#define QBS_BASELINES_BFS_ORACLE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/spg.h"
+
+namespace qbs {
+
+// Exact SPG(u, v) via two full BFSs and an edge sweep.
+ShortestPathGraph SpgByDoubleBfs(const Graph& g, VertexId u, VertexId v);
+
+// Edge sweep given precomputed distance arrays from u and v (exposed so
+// callers amortize BFSs across many pairs sharing an endpoint).
+ShortestPathGraph SpgFromDistances(const Graph& g, VertexId u, VertexId v,
+                                   const std::vector<uint32_t>& dist_u,
+                                   const std::vector<uint32_t>& dist_v);
+
+}  // namespace qbs
+
+#endif  // QBS_BASELINES_BFS_ORACLE_H_

@@ -1,0 +1,111 @@
+#include "baselines/bibfs.h"
+
+#include <algorithm>
+
+#include "graph/bfs.h"
+#include "util/check.h"
+
+namespace qbs {
+
+BiBfs::BiBfs(const Graph& g) : g_(g) {
+  for (int s = 0; s < 2; ++s) {
+    depth_[s].Resize(g.NumVertices(), kUnreachable);
+    back_mark_[s].Resize(g.NumVertices(), 0);
+  }
+}
+
+void BiBfs::AddBackwardStart(int t, VertexId w) {
+  if (back_mark_[t].IsSet(w)) return;
+  back_mark_[t].Set(w, 1);
+  const uint32_t d = depth_[t].Get(w);
+  if (back_buckets_[t].size() <= d) back_buckets_[t].resize(d + 1);
+  back_buckets_[t][d].push_back(w);
+}
+
+ShortestPathGraph BiBfs::Query(VertexId u, VertexId v,
+                               uint64_t* edges_scanned) {
+  QBS_CHECK_LT(u, g_.NumVertices());
+  QBS_CHECK_LT(v, g_.NumVertices());
+  uint64_t local_scans = 0;
+  uint64_t* scans = edges_scanned != nullptr ? edges_scanned : &local_scans;
+
+  ShortestPathGraph result;
+  result.u = u;
+  result.v = v;
+  if (u == v) {
+    result.distance = 0;
+    return result;
+  }
+
+  for (int s = 0; s < 2; ++s) {
+    depth_[s].Reset();
+    back_mark_[s].Reset();
+    levels_[s].clear();
+    back_buckets_[s].clear();
+  }
+  meet_set_.clear();
+  edges_.clear();
+
+  const VertexId endpoint[2] = {u, v};
+  uint64_t volume[2] = {g_.Degree(u), g_.Degree(v)};
+  for (int s = 0; s < 2; ++s) {
+    depth_[s].Set(endpoint[s], 0);
+    levels_[s].push_back({endpoint[s]});
+  }
+
+  uint32_t d[2] = {0, 0};
+  bool meet = false;
+  while (!meet) {
+    if (levels_[0][d[0]].empty() || levels_[1][d[1]].empty()) {
+      result.distance = kUnreachable;
+      return result;  // disconnected
+    }
+    // Expand the side with the smaller frontier volume.
+    const int t = volume[0] <= volume[1] ? 0 : 1;
+    const int o = 1 - t;
+    std::vector<VertexId> next;
+    uint64_t next_volume = 0;
+    const uint32_t next_depth = d[t] + 1;
+    for (VertexId x : levels_[t][d[t]]) {
+      for (VertexId w : g_.Neighbors(x)) {
+        ++*scans;
+        if (depth_[t].IsSet(w)) continue;
+        depth_[t].Set(w, next_depth);
+        next.push_back(w);
+        next_volume += g_.Degree(w);
+        if (depth_[o].IsSet(w)) meet_set_.push_back(w);
+      }
+    }
+    levels_[t].push_back(std::move(next));
+    volume[t] = next_volume;
+    ++d[t];
+    meet = !meet_set_.empty();
+  }
+
+  result.distance = d[0] + d[1];
+  for (const VertexId m : meet_set_) {
+    QBS_DCHECK(depth_[0].Get(m) + depth_[1].Get(m) == result.distance);
+    AddBackwardStart(0, m);
+    AddBackwardStart(1, m);
+  }
+  for (int t = 0; t < 2; ++t) {
+    auto& buckets = back_buckets_[t];
+    for (size_t level = buckets.size(); level-- > 1;) {
+      for (size_t i = 0; i < buckets[level].size(); ++i) {
+        const VertexId x = buckets[level][i];
+        for (VertexId y : g_.Neighbors(x)) {
+          ++*scans;
+          if (depth_[t].Get(y) != level - 1) continue;
+          edges_.emplace_back(x, y);
+          AddBackwardStart(t, y);
+        }
+      }
+    }
+  }
+
+  result.edges = edges_;
+  result.Normalize();
+  return result;
+}
+
+}  // namespace qbs

@@ -1,0 +1,48 @@
+// The Bi-BFS baseline (§6.1): an optimized bidirectional BFS answering
+// SPG queries online with no precomputation [Goldberg & Harrelson 2005;
+// Hayashi et al. 2016]. Expands the cheaper frontier (by degree volume)
+// until the frontiers meet, then reconstructs all shortest paths with a
+// reverse search over the two BFS level sets.
+//
+// This is what QbS's guided search degenerates to with zero landmarks; the
+// paper's Table 2 compares query times against it.
+
+#ifndef QBS_BASELINES_BIBFS_H_
+#define QBS_BASELINES_BIBFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/spg.h"
+#include "util/epoch_array.h"
+
+namespace qbs {
+
+// Online bidirectional SPG search over a fixed graph. Holds reusable
+// scratch sized to the graph; NOT thread-safe.
+class BiBfs {
+ public:
+  explicit BiBfs(const Graph& g);
+
+  // Exact SPG(u, v). `edges_scanned`, if non-null, receives the number of
+  // adjacency entries inspected (search + reverse), for the §6.5 traversal
+  // comparison.
+  ShortestPathGraph Query(VertexId u, VertexId v,
+                          uint64_t* edges_scanned = nullptr);
+
+ private:
+  void AddBackwardStart(int t, VertexId w);
+
+  const Graph& g_;
+  EpochArray<uint32_t> depth_[2];
+  EpochArray<uint8_t> back_mark_[2];
+  std::vector<std::vector<VertexId>> levels_[2];
+  std::vector<std::vector<VertexId>> back_buckets_[2];
+  std::vector<VertexId> meet_set_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_BASELINES_BIBFS_H_

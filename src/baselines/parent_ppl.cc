@@ -1,0 +1,250 @@
+#include "baselines/parent_ppl.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/bfs.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace qbs {
+namespace {
+
+uint64_t PairKey(VertexId a, VertexId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+std::optional<ParentPplIndex> ParentPplIndex::Build(
+    const Graph& g, const PplBuildOptions& options, BuildStatus* status) {
+  BuildStatus local_status;
+  if (status == nullptr) status = &local_status;
+  *status = BuildStatus::kOk;
+
+  ParentPplIndex index;
+  index.g_ = &g;
+  const VertexId n = g.NumVertices();
+  index.labels_.resize(n);
+  index.order_.resize(n);
+  std::iota(index.order_.begin(), index.order_.end(), 0);
+  std::sort(index.order_.begin(), index.order_.end(),
+            [&g](VertexId a, VertexId b) {
+              const uint32_t da = g.Degree(a);
+              const uint32_t db = g.Degree(b);
+              return da != db ? da > db : a < b;
+            });
+  index.rank_of_.resize(n);
+  for (uint32_t r = 0; r < n; ++r) index.rank_of_[index.order_[r]] = r;
+
+  WallTimer timer;
+  uint64_t total_entries = 0;
+  uint64_t total_parents = 0;
+
+  std::vector<uint32_t> depth(n, kUnreachable);
+  std::vector<VertexId> queue;
+  queue.reserve(n);
+  std::vector<uint32_t> root_dist(n, kUnreachable);
+  std::vector<VertexId> labeled_this_round;
+
+  // Distance from the current root to w via labels (dense root view).
+  // Exact for the root's own pairs: the root lies on all its shortest
+  // paths, so after round k the pair (root, w) is covered.
+  auto root_distance = [&](VertexId w) {
+    uint32_t best = kUnreachable;
+    for (const ParentPplEntry& e : index.labels_[w]) {
+      const uint32_t rd = root_dist[e.rank];
+      if (rd != kUnreachable) best = std::min(best, rd + e.dist);
+    }
+    return best;
+  };
+
+  for (uint32_t k = 0; k < n; ++k) {
+    const VertexId root = index.order_[k];
+    for (const ParentPplEntry& e : index.labels_[root]) {
+      root_dist[e.rank] = e.dist;
+    }
+
+    // Pruned BFS (Algorithm 1), identical to PPL.
+    queue.clear();
+    labeled_this_round.clear();
+    queue.push_back(root);
+    depth[root] = 0;
+    size_t head = 0;
+    while (head < queue.size()) {
+      const VertexId u = queue[head++];
+      const uint32_t du = depth[u];
+      const uint32_t via_labels = root_distance(u);
+      if (via_labels < du) continue;
+      index.labels_[u].push_back(ParentPplEntry{k, du, {}});
+      labeled_this_round.push_back(u);
+      ++total_entries;
+      if (via_labels == du) continue;
+      for (VertexId w : g.Neighbors(u)) {
+        if (depth[w] == kUnreachable) {
+          depth[w] = du + 1;
+          queue.push_back(w);
+        }
+      }
+    }
+
+    // Parent derivation: with the round-k entries in place, the root's
+    // distance to any vertex is answered exactly by labels, so a neighbour
+    // w of a labelled u is a parent iff d_L(root, w) == dist(u) - 1. The
+    // pruned-BFS depth array alone would miss parents that were themselves
+    // pruned.
+    root_dist[k] = 0;
+    for (VertexId u : labeled_this_round) {
+      ParentPplEntry& entry = index.labels_[u].back();
+      QBS_DCHECK(entry.rank == k);
+      if (entry.dist == 0) continue;  // the root itself
+      for (VertexId w : g.Neighbors(u)) {
+        if (root_distance(w) == entry.dist - 1) {
+          entry.parents.push_back(w);
+        }
+      }
+      total_parents += entry.parents.size();
+    }
+    root_dist[k] = kUnreachable;
+
+    for (VertexId u : queue) depth[u] = kUnreachable;
+    for (const ParentPplEntry& e : index.labels_[root]) {
+      root_dist[e.rank] = kUnreachable;
+    }
+
+    if (options.max_label_entries > 0 &&
+        total_entries + total_parents > options.max_label_entries) {
+      *status = BuildStatus::kMemoryBudgetExceeded;
+      return std::nullopt;
+    }
+    if (timer.ElapsedSeconds() > options.time_budget_seconds) {
+      *status = BuildStatus::kTimeBudgetExceeded;
+      return std::nullopt;
+    }
+  }
+  return index;
+}
+
+uint32_t ParentPplIndex::QueryDistance(VertexId u, VertexId v) const {
+  QBS_CHECK_LT(u, labels_.size());
+  QBS_CHECK_LT(v, labels_.size());
+  if (u == v) return 0;
+  const auto& lu = labels_[u];
+  const auto& lv = labels_[v];
+  uint32_t best = kUnreachable;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < lu.size() && j < lv.size()) {
+    if (lu[i].rank < lv[j].rank) {
+      ++i;
+    } else if (lu[i].rank > lv[j].rank) {
+      ++j;
+    } else {
+      best = std::min(best, lu[i].dist + lv[j].dist);
+      ++i;
+      ++j;
+    }
+  }
+  return best;
+}
+
+const ParentPplEntry* ParentPplIndex::FindEntry(VertexId x,
+                                                uint32_t rank) const {
+  const auto& l = labels_[x];
+  const auto it = std::lower_bound(
+      l.begin(), l.end(), rank,
+      [](const ParentPplEntry& e, uint32_t r) { return e.rank < r; });
+  return it != l.end() && it->rank == rank ? &*it : nullptr;
+}
+
+void ParentPplIndex::Walk(VertexId x, uint32_t rank, std::vector<Edge>* edges,
+                          std::unordered_set<uint64_t>* visited_pairs) const {
+  const VertexId target = order_[rank];
+  if (x == target) return;
+  if (!visited_pairs->insert(PairKey(x, target)).second) return;
+  const ParentPplEntry* entry = FindEntry(x, rank);
+  if (entry != nullptr) {
+    if (entry->dist == 1) {
+      edges->emplace_back(x, target);
+      return;
+    }
+    for (VertexId w : entry->parents) {
+      edges->emplace_back(x, w);
+      Walk(w, rank, edges, visited_pairs);
+    }
+    return;
+  }
+  // x's label was pruned for this landmark: fall back to decomposition.
+  visited_pairs->erase(PairKey(x, target));
+  Expand(x, target, edges, visited_pairs);
+}
+
+void ParentPplIndex::Expand(VertexId u, VertexId v, std::vector<Edge>* edges,
+                            std::unordered_set<uint64_t>* visited_pairs) const {
+  if (!visited_pairs->insert(PairKey(u, v)).second) return;
+  const uint32_t d = QueryDistance(u, v);
+  if (d == 0 || d == kUnreachable) return;
+  if (d == 1) {
+    edges->emplace_back(u, v);
+    return;
+  }
+  const auto& lu = labels_[u];
+  const auto& lv = labels_[v];
+  size_t i = 0;
+  size_t j = 0;
+  while (i < lu.size() && j < lv.size()) {
+    if (lu[i].rank < lv[j].rank) {
+      ++i;
+    } else if (lu[i].rank > lv[j].rank) {
+      ++j;
+    } else {
+      if (lu[i].dist + lv[j].dist == d) {
+        const uint32_t rank = lu[i].rank;
+        const VertexId r = order_[rank];
+        if (r != u && r != v) {
+          Walk(u, rank, edges, visited_pairs);
+          Walk(v, rank, edges, visited_pairs);
+        }
+      }
+      ++i;
+      ++j;
+    }
+  }
+  // Neighbour-step completion (see PplIndex::Expand): parent walks only
+  // cover paths with an internal common landmark in the labels.
+  for (VertexId z : g_->Neighbors(u)) {
+    if (QueryDistance(z, v) + 1 == d) {
+      edges->emplace_back(u, z);
+      Expand(z, v, edges, visited_pairs);
+    }
+  }
+}
+
+ShortestPathGraph ParentPplIndex::QuerySpg(VertexId u, VertexId v) const {
+  ShortestPathGraph spg;
+  spg.u = u;
+  spg.v = v;
+  spg.distance = QueryDistance(u, v);
+  if (spg.distance == kUnreachable || u == v) return spg;
+  std::unordered_set<uint64_t> visited_pairs;
+  Expand(u, v, &spg.edges, &visited_pairs);
+  spg.Normalize();
+  return spg;
+}
+
+uint64_t ParentPplIndex::NumEntries() const {
+  uint64_t total = 0;
+  for (const auto& l : labels_) total += l.size();
+  return total;
+}
+
+uint64_t ParentPplIndex::NumParents() const {
+  uint64_t total = 0;
+  for (const auto& l : labels_) {
+    for (const auto& e : l) total += e.parents.size();
+  }
+  return total;
+}
+
+}  // namespace qbs

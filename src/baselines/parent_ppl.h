@@ -1,0 +1,83 @@
+// ParentPPL — pruned path labelling with parent sets (§3.2).
+//
+// Extends PPL label entries (r, δ_vr) to triples (r, δ_vr, W_vr), where
+// W_vr is the set of *all* neighbours of v one step closer to r — following
+// the technique of [Akiba et al. 2013] generalized from one parent to all
+// parents so that every shortest path is recoverable. Space grows to
+// O(|V||E|) and construction slows down further (the paper's Table 2 shows
+// ParentPPL running out of time/memory on 10 of 12 datasets), in exchange
+// for faster SPG queries on small graphs.
+//
+// Parent completeness: the pruned BFS depth array alone under-approximates
+// parent sets (a true parent may itself have been pruned), so parents are
+// derived after each pruned BFS k via label distance queries, which are
+// exact for pairs involving the rank-k landmark (it lies on all its own
+// shortest paths).
+
+#ifndef QBS_BASELINES_PARENT_PPL_H_
+#define QBS_BASELINES_PARENT_PPL_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "baselines/ppl.h"
+#include "graph/graph.h"
+#include "graph/spg.h"
+
+namespace qbs {
+
+struct ParentPplEntry {
+  uint32_t rank = 0;
+  uint32_t dist = 0;
+  // Neighbours of the labelled vertex that are one step closer to the
+  // landmark, i.e. the next hops of all shortest paths toward it.
+  std::vector<VertexId> parents;
+};
+
+class ParentPplIndex {
+ public:
+  static std::optional<ParentPplIndex> Build(
+      const Graph& g, const PplBuildOptions& options = {},
+      BuildStatus* status = nullptr);
+
+  uint32_t QueryDistance(VertexId u, VertexId v) const;
+  ShortestPathGraph QuerySpg(VertexId u, VertexId v) const;
+
+  const std::vector<ParentPplEntry>& Label(VertexId v) const {
+    return labels_[v];
+  }
+  VertexId LandmarkVertex(uint32_t rank) const { return order_[rank]; }
+
+  uint64_t NumEntries() const;
+  uint64_t NumParents() const;
+  // Entry bytes + parent bytes (parents dominate: the paper's Table 3 shows
+  // roughly 2x the PPL footprint).
+  uint64_t SizeBytes() const {
+    return NumEntries() * (sizeof(uint32_t) + sizeof(uint32_t)) +
+           NumParents() * sizeof(VertexId);
+  }
+
+ private:
+  ParentPplIndex() = default;
+
+  const ParentPplEntry* FindEntry(VertexId x, uint32_t rank) const;
+  // Emits all shortest paths from x to the landmark with rank `rank`,
+  // preferring stored parent walks, falling back to decomposition when a
+  // pruned label leaves no entry.
+  void Walk(VertexId x, uint32_t rank, std::vector<Edge>* edges,
+            std::unordered_set<uint64_t>* visited_pairs) const;
+  void Expand(VertexId u, VertexId v, std::vector<Edge>* edges,
+              std::unordered_set<uint64_t>* visited_pairs) const;
+
+  const Graph* g_ = nullptr;  // not owned
+  std::vector<std::vector<ParentPplEntry>> labels_;
+  std::vector<VertexId> order_;
+  std::vector<uint32_t> rank_of_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_BASELINES_PARENT_PPL_H_

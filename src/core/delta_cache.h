@@ -1,0 +1,60 @@
+// Precomputed shortest path graphs between landmarks (the Δ of Table 3 and
+// §5.2): for every meta-edge (r, r'), the union of all shortest r–r' paths
+// in G that pass through no other landmark. Queries then splice these
+// cached segments instead of re-deriving them, realizing the §6.5(3)
+// efficiency source ("QbS can avoid the computation of shortest paths
+// between high-degree landmarks ... since these shortest paths can be
+// precomputed").
+
+#ifndef QBS_CORE_DELTA_CACHE_H_
+#define QBS_CORE_DELTA_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/labeling.h"
+#include "core/meta_graph.h"
+#include "graph/graph.h"
+
+namespace qbs {
+
+// Recomputes (online) the landmark-free shortest path graph of one
+// meta-edge via label-guided frontier expansion. Shared by the Δ-cache
+// builder and the recover search's uncached path. `edge_scans`, if
+// non-null, is incremented per adjacency entry inspected.
+std::vector<Edge> RecoverMetaSegment(const Graph& g, const PathLabeling& l,
+                                     const MetaEdge& e,
+                                     uint64_t* edge_scans = nullptr);
+
+class DeltaCache {
+ public:
+  DeltaCache() = default;
+
+  // Precomputes the segment for every meta-edge, in parallel.
+  static DeltaCache Build(const Graph& g, const PathLabeling& labeling,
+                          const MetaGraph& meta, size_t num_threads);
+
+  // Cached segment edges for meta-edge (a, b); nullptr if absent.
+  const std::vector<Edge>* Lookup(LandmarkIndex a, LandmarkIndex b) const {
+    const auto it = segments_.find(Key(a, b));
+    return it == segments_.end() ? nullptr : &it->second;
+  }
+
+  // size(Δ): bytes of all cached segment edges.
+  uint64_t SizeBytes() const;
+
+  size_t NumSegments() const { return segments_.size(); }
+
+ private:
+  static uint64_t Key(LandmarkIndex a, LandmarkIndex b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  std::unordered_map<uint64_t, std::vector<Edge>> segments_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_CORE_DELTA_CACHE_H_

@@ -1,0 +1,291 @@
+#include "core/guided_search.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace qbs {
+namespace {
+
+uint64_t WalkKey(LandmarkIndex r, VertexId v) {
+  return (static_cast<uint64_t>(r) << 32) | v;
+}
+
+}  // namespace
+
+Graph MakeSparsifiedGraph(const Graph& g, const PathLabeling& labeling) {
+  std::vector<Edge> edges;
+  edges.reserve(g.NumEdges());
+  for (VertexId x = 0; x < g.NumVertices(); ++x) {
+    if (labeling.IsLandmark(x)) continue;
+    for (VertexId w : g.Neighbors(x)) {
+      if (x < w && !labeling.IsLandmark(w)) edges.emplace_back(x, w);
+    }
+  }
+  return Graph::FromEdges(g.NumVertices(), std::move(edges));
+}
+
+GuidedSearcher::GuidedSearcher(const Graph& g, const PathLabeling& labeling,
+                               const MetaGraph& meta, const DeltaCache* delta)
+    : g_(g), labeling_(labeling), meta_(meta), delta_(delta) {
+  QBS_CHECK_EQ(g.NumVertices(), labeling.num_vertices());
+  QBS_CHECK(meta.finalized());
+  // Materialize G⁻ = G[V \ R] once; searches then traverse it directly
+  // instead of filtering per edge.
+  gminus_storage_ = MakeSparsifiedGraph(g, labeling);
+  gminus_ = &gminus_storage_;
+  for (int s = 0; s < 2; ++s) {
+    depth_[s].Resize(g.NumVertices(), kUnreachable);
+    back_mark_[s].Resize(g.NumVertices(), 0);
+  }
+}
+
+GuidedSearcher::GuidedSearcher(const Graph& g, const Graph& sparsified,
+                               const PathLabeling& labeling,
+                               const MetaGraph& meta, const DeltaCache* delta)
+    : g_(g), gminus_(&sparsified), labeling_(labeling), meta_(meta),
+      delta_(delta) {
+  QBS_CHECK_EQ(g.NumVertices(), labeling.num_vertices());
+  QBS_CHECK_EQ(sparsified.NumVertices(), g.NumVertices());
+  QBS_CHECK(meta.finalized());
+  for (int s = 0; s < 2; ++s) {
+    depth_[s].Resize(g.NumVertices(), kUnreachable);
+    back_mark_[s].Resize(g.NumVertices(), 0);
+  }
+}
+
+ShortestPathGraph GuidedSearcher::Query(VertexId u, VertexId v,
+                                        SearchStats* stats) {
+  ComputeSketchInto(labeling_, meta_, u, v, &sketch_scratch_,
+                    &sketch_buffers_);
+  return QueryWithSketch(u, v, sketch_scratch_, stats);
+}
+
+int GuidedSearcher::PickSide(const Sketch& sketch, const uint32_t d[2]) const {
+  const bool want_u = sketch.d_star_u > d[0];
+  const bool want_v = sketch.d_star_v > d[1];
+  if (want_u != want_v) return want_u ? 0 : 1;
+  // Tie: expand the side that has traversed less so far.
+  size_t traversed[2] = {0, 0};
+  for (int s = 0; s < 2; ++s) {
+    for (size_t l = 0; l < num_levels_[s]; ++l) {
+      traversed[s] += levels_[s][l].size();
+    }
+  }
+  return traversed[0] <= traversed[1] ? 0 : 1;
+}
+
+void GuidedSearcher::ExpandLevel(int t, SearchStats* stats) {
+  const int o = 1 - t;
+  const uint32_t next_depth = static_cast<uint32_t>(num_levels_[t]);
+  if (levels_[t].size() <= num_levels_[t]) {
+    levels_[t].emplace_back();
+  } else {
+    levels_[t][num_levels_[t]].clear();
+  }
+  std::vector<VertexId>& next = levels_[t][num_levels_[t]];
+  for (VertexId x : levels_[t][num_levels_[t] - 1]) {
+    stats->edges_scanned_search += gminus_->Degree(x);
+    stats->landmark_edges_skipped += g_.Degree(x) - gminus_->Degree(x);
+    for (VertexId w : gminus_->Neighbors(x)) {
+      if (depth_[t].IsSet(w)) continue;
+      depth_[t].Set(w, next_depth);
+      next.push_back(w);
+      if (depth_[o].IsSet(w)) meet_set_.push_back(w);
+    }
+  }
+  ++num_levels_[t];
+}
+
+void GuidedSearcher::AddBackwardStart(int t, VertexId w) {
+  if (back_mark_[t].IsSet(w)) return;
+  back_mark_[t].Set(w, 1);
+  const uint32_t d = depth_[t].Get(w);
+  QBS_DCHECK(d != kUnreachable);
+  if (back_buckets_[t].size() <= d) back_buckets_[t].resize(d + 1);
+  for (size_t l = num_buckets_[t]; l <= d; ++l) back_buckets_[t][l].clear();
+  if (num_buckets_[t] <= d) num_buckets_[t] = d + 1;
+  back_buckets_[t][d].push_back(w);
+}
+
+void GuidedSearcher::RunBackwardWalk(int t, SearchStats* stats) {
+  auto& buckets = back_buckets_[t];
+  for (size_t level = num_buckets_[t]; level-- > 1;) {
+    // Iterate by index: lower buckets grow while we scan this one.
+    for (size_t i = 0; i < buckets[level].size(); ++i) {
+      const VertexId x = buckets[level][i];
+      stats->edges_scanned_reverse += gminus_->Degree(x);
+      for (VertexId y : gminus_->Neighbors(x)) {
+        if (depth_[t].Get(y) != level - 1) continue;
+        edges_.emplace_back(x, y);
+        AddBackwardStart(t, y);
+      }
+    }
+  }
+}
+
+void GuidedSearcher::LabelWalk(VertexId w, LandmarkIndex r,
+                               SearchStats* stats) {
+  if (!walk_mark_.insert(WalkKey(r, w)).second) return;
+  const VertexId target = labeling_.LandmarkVertex(r);
+  std::vector<VertexId> stack{w};
+  while (!stack.empty()) {
+    const VertexId x = stack.back();
+    stack.pop_back();
+    const DistT dx = labeling_.Get(x, r);
+    QBS_DCHECK(dx != kInfDist && dx > 0);
+    if (dx == 1) {
+      edges_.emplace_back(x, target);
+      continue;
+    }
+    stats->edges_scanned_recover += gminus_->Degree(x);
+    for (VertexId y : gminus_->Neighbors(x)) {
+      if (labeling_.Get(y, r) != dx - 1) continue;
+      edges_.emplace_back(x, y);
+      if (walk_mark_.insert(WalkKey(r, y)).second) stack.push_back(y);
+    }
+  }
+}
+
+ShortestPathGraph GuidedSearcher::QueryWithSketch(VertexId u, VertexId v,
+                                                  const Sketch& sketch,
+                                                  SearchStats* stats) {
+  QBS_CHECK_LT(u, g_.NumVertices());
+  QBS_CHECK_LT(v, g_.NumVertices());
+  SearchStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  stats->d_top = sketch.d_top;
+
+  ShortestPathGraph result;
+  result.u = u;
+  result.v = v;
+  if (u == v) {
+    result.distance = 0;
+    stats->coverage = PairCoverage::kNoneThroughLandmarks;
+    return result;
+  }
+
+  // Reset per-query scratch (buffers are reused; only logical clears).
+  for (int s = 0; s < 2; ++s) {
+    depth_[s].Reset();
+    back_mark_[s].Reset();
+    num_levels_[s] = 0;
+    num_buckets_[s] = 0;
+  }
+  meet_set_.clear();
+  walk_mark_.clear();
+  edges_.clear();
+
+  const bool u_lm = labeling_.IsLandmark(u);
+  const bool v_lm = labeling_.IsLandmark(v);
+  const VertexId endpoint[2] = {u, v};
+  for (int s = 0; s < 2; ++s) {
+    if (levels_[s].empty()) levels_[s].emplace_back();
+    levels_[s][0].clear();
+    num_levels_[s] = 1;
+    if (!labeling_.IsLandmark(endpoint[s])) {
+      depth_[s].Set(endpoint[s], 0);
+      levels_[s][0].push_back(endpoint[s]);
+    }
+  }
+
+  // Stage 1: sketch-guided bi-directional search on G⁻. A landmark endpoint
+  // does not exist in G⁻, so the search is skipped entirely in that case
+  // (every shortest path then passes through a landmark and the recover
+  // search reconstructs all of them).
+  uint32_t d[2] = {0, 0};
+  bool meet = false;
+  if (!u_lm && !v_lm) {
+    const bool bounded = sketch.d_top != kUnreachable;
+    while (!bounded || d[0] + d[1] < sketch.d_top) {
+      if (levels_[0][d[0]].empty() || levels_[1][d[1]].empty()) {
+        break;  // G⁻ exhausted on one side: d_G⁻(u, v) = ∞.
+      }
+      const int t = PickSide(sketch, d);
+      ExpandLevel(t, stats);
+      ++d[t];
+      if (!meet_set_.empty()) {
+        meet = true;
+        break;
+      }
+    }
+  }
+
+  const uint32_t d_minus = meet ? d[0] + d[1] : kUnreachable;
+  stats->d_sparsified = d_minus;
+  result.distance = std::min(d_minus, sketch.d_top);
+  if (result.distance == kUnreachable) {
+    stats->coverage = PairCoverage::kDisconnected;
+    return result;  // disconnected
+  }
+  if (d_minus < sketch.d_top) {
+    stats->coverage = PairCoverage::kNoneThroughLandmarks;
+  } else if (d_minus == sketch.d_top) {
+    stats->coverage = PairCoverage::kSomeThroughLandmarks;
+  } else {
+    stats->coverage = PairCoverage::kAllThroughLandmarks;
+  }
+
+  // Stage 2: reverse search (G⁻_uv) — runs iff the frontiers met, i.e.
+  // d_G⁻(u, v) <= d⊤. Every shortest u–v path in G⁻ crosses the meeting
+  // level at a vertex in meet_set_, so walking depth levels backwards from
+  // the meet set on both sides emits exactly G⁻_uv.
+  if (meet) {
+    for (const VertexId m : meet_set_) {
+      QBS_DCHECK(depth_[0].Get(m) + depth_[1].Get(m) == d_minus);
+      AddBackwardStart(0, m);
+      AddBackwardStart(1, m);
+    }
+  }
+
+  // Stage 3: recover search (G^L_uv) — runs iff d⊤ realizes the distance.
+  if (sketch.d_top == result.distance) {
+    // (a) Landmark-to-landmark segments for every sketch meta-edge.
+    for (const MetaEdge& e : sketch.meta_edges) {
+      const std::vector<Edge>* cached =
+          delta_ != nullptr ? delta_->Lookup(e.a, e.b) : nullptr;
+      if (cached != nullptr) {
+        ++stats->delta_cache_hits;
+        edges_.insert(edges_.end(), cached->begin(), cached->end());
+      } else {
+        const std::vector<Edge> segment =
+            RecoverMetaSegment(g_, labeling_, e, &stats->edges_scanned_recover);
+        edges_.insert(edges_.end(), segment.begin(), segment.end());
+      }
+    }
+    // (b) Z pairs (Lines 19-23): for each sketch anchor (r, t), the
+    // on-path vertices w closest to r that the side-t search discovered,
+    // at depth dm = min(σ−1, d_t) with δ_{w,r} + dm = σ. Each contributes
+    // a label walk w → r (the part beyond the search horizon) and a
+    // backward walk w → t (the part inside it).
+    for (int t = 0; t < 2; ++t) {
+      const auto& anchors = t == 0 ? sketch.u_anchors : sketch.v_anchors;
+      for (const SketchAnchor& anchor : anchors) {
+        if (anchor.delta == 0) continue;  // endpoint is the landmark itself
+        const uint32_t sigma = anchor.delta;
+        const uint32_t dm = std::min(sigma - 1, d[t]);
+        QBS_DCHECK(dm < levels_[t].size());
+        for (const VertexId w : levels_[t][dm]) {
+          const DistT dwr = labeling_.Get(w, anchor.landmark);
+          if (dwr == kInfDist || dwr + dm != sigma) continue;
+          LabelWalk(w, anchor.landmark, stats);
+          AddBackwardStart(t, w);
+        }
+      }
+    }
+  }
+
+  // Backward walks emit both the reverse-search paths and the endpoint
+  // sides of recovered paths, sharing marks so overlapping parts are
+  // walked once (§4.3: "the search for parts of shortest paths that have
+  // already been found in the reversed search can be skipped").
+  RunBackwardWalk(0, stats);
+  RunBackwardWalk(1, stats);
+
+  result.edges = std::move(edges_);
+  edges_ = {};
+  result.Normalize();
+  return result;
+}
+
+}  // namespace qbs

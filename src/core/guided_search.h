@@ -1,0 +1,113 @@
+// Guided searching (Algorithm 4): answers SPG(u, v) by a sketch-guided
+// bi-directional BFS on the sparsified graph G⁻ = G[V \ R], followed by a
+// reverse search (paths avoiding landmarks, G⁻_uv) and/or a recover search
+// (paths through landmarks, G^L_uv) according to Eq. 5:
+//
+//          ⎧ G^L_uv               if d_G⁻(u,v) > d⊤
+//   G_uv = ⎨ G⁻_uv ∪ G^L_uv       if d_G⁻(u,v) = d⊤
+//          ⎩ G⁻_uv                otherwise.
+//
+// The sparsified graph G⁻ is materialized as its own CSR at construction
+// (as the paper does): searches never touch edges incident to landmarks.
+// SearchStats::landmark_edges_skipped reports how many adjacency entries
+// sparsification removed from the traversal, the §6.5(1) effect.
+
+#ifndef QBS_CORE_GUIDED_SEARCH_H_
+#define QBS_CORE_GUIDED_SEARCH_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/delta_cache.h"
+#include "core/labeling.h"
+#include "core/meta_graph.h"
+#include "core/search_stats.h"
+#include "core/sketch.h"
+#include "graph/graph.h"
+#include "graph/spg.h"
+#include "util/epoch_array.h"
+
+namespace qbs {
+
+// Executes guided searches against a fixed labelling scheme. Holds scratch
+// state sized to the graph, so construct once and reuse; NOT thread-safe —
+// use one searcher per thread.
+class GuidedSearcher {
+ public:
+  // All referenced objects must outlive the searcher. `delta` may be null
+  // (recover search then re-derives landmark segments from labels online).
+  // This constructor materializes its own copy of the sparsified graph.
+  GuidedSearcher(const Graph& g, const PathLabeling& labeling,
+                 const MetaGraph& meta, const DeltaCache* delta = nullptr);
+
+  // As above, but shares a pre-materialized sparsified graph G[V \ R]
+  // (see MakeSparsifiedGraph) — the cheap way to construct one searcher
+  // per thread against the same index.
+  GuidedSearcher(const Graph& g, const Graph& sparsified,
+                 const PathLabeling& labeling, const MetaGraph& meta,
+                 const DeltaCache* delta);
+
+  // Answers SPG(u, v). Computes the sketch internally. `stats`, if
+  // non-null, receives the per-query counters.
+  ShortestPathGraph Query(VertexId u, VertexId v,
+                          SearchStats* stats = nullptr);
+
+  // As Query(), but with a caller-supplied sketch (exposed for tests and
+  // phase microbenchmarks).
+  ShortestPathGraph QueryWithSketch(VertexId u, VertexId v,
+                                    const Sketch& sketch,
+                                    SearchStats* stats = nullptr);
+
+ private:
+  // Expands side `t` of the bi-directional search by one level; appends
+  // newly met vertices (already settled by the other side) to meet_set_.
+  void ExpandLevel(int t, SearchStats* stats);
+
+  // §4.3: prefer the side whose sketch depth guide d* is not yet met,
+  // breaking ties toward the smaller traversed set.
+  int PickSide(const Sketch& sketch, const uint32_t d[2]) const;
+
+  // Registers `w` as a start of the backward walk on side t.
+  void AddBackwardStart(int t, VertexId w);
+
+  // Emits all edges of all shortest chains from the registered start
+  // vertices back to the side-t endpoint, following depth_[t] levels
+  // downward (reverse search; also used to splice Z vertices into paths).
+  void RunBackwardWalk(int t, SearchStats* stats);
+
+  // Emits all edges of all landmark-free shortest paths from w to landmark
+  // `r`, walking label distances down to 1 (recover search).
+  void LabelWalk(VertexId w, LandmarkIndex r, SearchStats* stats);
+
+  const Graph& g_;        // original graph (landmark adjacency for recovery)
+  Graph gminus_storage_;  // owned G⁻ when not shared
+  const Graph* gminus_;   // the sparsified graph actually traversed
+  const PathLabeling& labeling_;
+  const MetaGraph& meta_;
+  const DeltaCache* delta_;
+
+  // Per-query scratch (epoch-reset).
+  EpochArray<uint32_t> depth_[2];
+  EpochArray<uint8_t> back_mark_[2];
+  // Level and bucket vectors are high-water-marked and reused across
+  // queries to avoid per-query allocation churn (queries on complex
+  // networks touch few levels, so this is the dominant constant factor).
+  std::vector<std::vector<VertexId>> levels_[2];        // BFS levels
+  size_t num_levels_[2] = {0, 0};
+  std::vector<std::vector<VertexId>> back_buckets_[2];  // by depth
+  size_t num_buckets_[2] = {0, 0};
+  std::vector<VertexId> meet_set_;
+  std::unordered_set<uint64_t> walk_mark_;  // (landmark, vertex) visited
+  std::vector<Edge> edges_;                 // accumulating answer
+  Sketch sketch_scratch_;
+  SketchScratch sketch_buffers_;
+};
+
+// Materializes the sparsified graph G[V \ R]: same vertex ids, only the
+// edges with neither endpoint a landmark.
+Graph MakeSparsifiedGraph(const Graph& g, const PathLabeling& labeling);
+
+}  // namespace qbs
+
+#endif  // QBS_CORE_GUIDED_SEARCH_H_

@@ -1,0 +1,140 @@
+#include "core/labeling.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "graph/bfs.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace qbs {
+namespace {
+
+// Per-worker scratch reused across the BFSs this worker runs.
+struct BfsScratch {
+  std::vector<uint32_t> depth;      // kUnreachable = unvisited
+  std::vector<VertexId> touched;    // vertices whose depth was set
+  // Level queues: vertices to be labelled (QL) / not labelled (QN).
+  std::vector<VertexId> cur_l, cur_n, next_l, next_n;
+
+  void Init(VertexId n) { depth.assign(n, kUnreachable); }
+
+  void ResetTouched() {
+    for (VertexId v : touched) depth[v] = kUnreachable;
+    touched.clear();
+  }
+};
+
+// Algorithm 2, one landmark: a level-synchronous BFS from landmarks[i] with
+// two queues. Vertices first reached from a QL vertex have a shortest path
+// from the root avoiding other landmarks: non-landmarks get a label and
+// join QL; landmarks produce a meta-edge and join QN. Vertices first
+// reached from QN join QN silently. QL is expanded before QN at each level,
+// so a vertex reachable both ways at the same depth is classified QL.
+void LabelFromLandmark(const Graph& g, const PathLabeling& labeling,
+                       LandmarkIndex i, PathLabeling* out,
+                       std::vector<MetaEdge>* meta_edges, BfsScratch* s) {
+  const VertexId root = labeling.LandmarkVertex(i);
+  s->ResetTouched();
+  s->cur_l.clear();
+  s->cur_n.clear();
+  s->depth[root] = 0;
+  s->touched.push_back(root);
+  s->cur_l.push_back(root);
+
+  uint32_t level = 0;
+  while (!s->cur_l.empty() || !s->cur_n.empty()) {
+    s->next_l.clear();
+    s->next_n.clear();
+    const uint32_t next_depth = level + 1;
+    QBS_CHECK_LT(next_depth, static_cast<uint32_t>(kInfDist));
+    for (VertexId u : s->cur_l) {
+      for (VertexId v : g.Neighbors(u)) {
+        if (s->depth[v] != kUnreachable) continue;
+        s->depth[v] = next_depth;
+        s->touched.push_back(v);
+        const int32_t rank = labeling.LandmarkRank(v);
+        if (rank >= 0) {
+          s->next_n.push_back(v);
+          meta_edges->push_back(
+              MetaEdge{i, static_cast<LandmarkIndex>(rank), next_depth});
+        } else {
+          s->next_l.push_back(v);
+          out->Set(v, i, static_cast<DistT>(next_depth));
+        }
+      }
+    }
+    for (VertexId u : s->cur_n) {
+      for (VertexId v : g.Neighbors(u)) {
+        if (s->depth[v] != kUnreachable) continue;
+        s->depth[v] = next_depth;
+        s->touched.push_back(v);
+        s->next_n.push_back(v);
+      }
+    }
+    std::swap(s->cur_l, s->next_l);
+    std::swap(s->cur_n, s->next_n);
+    ++level;
+  }
+}
+
+}  // namespace
+
+PathLabeling::PathLabeling(VertexId num_vertices,
+                           std::vector<VertexId> landmarks)
+    : num_vertices_(num_vertices), landmarks_(std::move(landmarks)) {
+  landmark_rank_.assign(num_vertices_, -1);
+  for (size_t i = 0; i < landmarks_.size(); ++i) {
+    QBS_CHECK_LT(landmarks_[i], num_vertices_);
+    QBS_CHECK_EQ(landmark_rank_[landmarks_[i]], -1);  // distinct
+    landmark_rank_[landmarks_[i]] = static_cast<int32_t>(i);
+  }
+  dist_.assign(static_cast<size_t>(num_vertices_) * landmarks_.size(),
+               kInfDist);
+}
+
+uint64_t PathLabeling::NumEntries() const {
+  uint64_t count = 0;
+  for (DistT d : dist_) {
+    if (d != kInfDist) ++count;
+  }
+  return count;
+}
+
+LabelingScheme BuildLabelingScheme(const Graph& g,
+                                   const std::vector<VertexId>& landmarks,
+                                   const LabelingBuildOptions& options) {
+  LabelingScheme scheme;
+  scheme.labeling = PathLabeling(g.NumVertices(), landmarks);
+  const auto k = static_cast<uint32_t>(landmarks.size());
+  scheme.meta = MetaGraph(k);
+  if (k == 0) {
+    scheme.meta.Finalize();
+    return scheme;
+  }
+
+  // One BFS per landmark. Label-matrix columns are disjoint across BFSs and
+  // meta-edge lists are per-landmark, so workers never contend.
+  const size_t workers = std::min<size_t>(EffectiveThreads(options.num_threads), k);
+  std::vector<BfsScratch> scratch(workers);
+  for (auto& s : scratch) s.Init(g.NumVertices());
+  std::vector<std::vector<MetaEdge>> local_meta(k);
+
+  ParallelFor(k, workers, [&](size_t i, size_t worker) {
+    LabelFromLandmark(g, scheme.labeling, static_cast<LandmarkIndex>(i),
+                      &scheme.labeling, &local_meta[i], &scratch[worker]);
+  });
+
+  // Each meta-edge is discovered from both endpoints (the existence
+  // condition is symmetric); keep one copy and let AddEdge cross-check the
+  // duplicate's weight.
+  for (const auto& edges : local_meta) {
+    for (const MetaEdge& e : edges) {
+      scheme.meta.AddEdge(e.a, e.b, e.weight);
+    }
+  }
+  scheme.meta.Finalize();
+  return scheme;
+}
+
+}  // namespace qbs

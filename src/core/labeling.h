@@ -1,0 +1,91 @@
+// The QbS labelling scheme L = (M, L) of Definition 4.2 and its
+// construction (Algorithm 2).
+//
+// For each vertex u ∉ R, L(u) contains (r, d_G(u, r)) iff at least one
+// shortest path between u and r passes through no other landmark. The
+// companion meta-graph M records how landmarks interconnect.
+//
+// Storage: a dense |V| × |R| matrix of DistT (kInfDist = entry absent).
+// With the paper's default |R| = 20 a label is 40 bytes — "not much larger
+// than the original graph", usually far smaller.
+//
+// Lemma 5.2: the scheme is uniquely determined by (G, R), independent of
+// landmark order, so construction parallelizes per landmark with no
+// coordination (QbS-P).
+
+#ifndef QBS_CORE_LABELING_H_
+#define QBS_CORE_LABELING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/meta_graph.h"
+#include "core/types.h"
+#include "graph/graph.h"
+
+namespace qbs {
+
+class PathLabeling {
+ public:
+  PathLabeling() = default;
+  PathLabeling(VertexId num_vertices, std::vector<VertexId> landmarks);
+
+  uint32_t num_landmarks() const {
+    return static_cast<uint32_t>(landmarks_.size());
+  }
+  VertexId num_vertices() const { return num_vertices_; }
+
+  const std::vector<VertexId>& landmarks() const { return landmarks_; }
+  VertexId LandmarkVertex(LandmarkIndex i) const { return landmarks_[i]; }
+
+  // Landmark index of v, or -1 if v is not a landmark.
+  int32_t LandmarkRank(VertexId v) const { return landmark_rank_[v]; }
+  bool IsLandmark(VertexId v) const { return landmark_rank_[v] >= 0; }
+
+  // δ_{v, r_i}, or kInfDist if r_i ∉ L(v). Landmarks carry no stored labels
+  // (Definition 4.2 assigns labels to V \ R only).
+  DistT Get(VertexId v, LandmarkIndex i) const {
+    return dist_[static_cast<size_t>(v) * num_landmarks() + i];
+  }
+
+  void Set(VertexId v, LandmarkIndex i, DistT d) {
+    dist_[static_cast<size_t>(v) * num_landmarks() + i] = d;
+  }
+
+  // Number of finite labelling entries: size(L) = Σ_v |L(v)| (§2).
+  uint64_t NumEntries() const;
+
+  // Bytes of the dense label matrix, the quantity Table 3 reports as
+  // size(L) (the paper stores |R| fixed-width slots per vertex, as we do).
+  uint64_t SizeBytes() const { return dist_.size() * sizeof(DistT); }
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<VertexId> landmarks_;
+  std::vector<int32_t> landmark_rank_;
+  std::vector<DistT> dist_;
+};
+
+struct LabelingScheme {
+  PathLabeling labeling;
+  MetaGraph meta;
+};
+
+struct LabelingBuildOptions {
+  // 1 = sequential (paper's QbS); 0 = hardware concurrency (QbS-P);
+  // otherwise the exact thread count.
+  size_t num_threads = 1;
+};
+
+// Runs Algorithm 2: one two-queue level-synchronous BFS per landmark.
+// Landmark vertex ids must be distinct and valid. The result is
+// deterministic w.r.t. (g, landmarks) regardless of thread count or
+// landmark order (Lemma 5.2); only the landmark *indexing* follows the
+// given order.
+LabelingScheme BuildLabelingScheme(const Graph& g,
+                                   const std::vector<VertexId>& landmarks,
+                                   const LabelingBuildOptions& options = {});
+
+}  // namespace qbs
+
+#endif  // QBS_CORE_LABELING_H_

@@ -1,0 +1,116 @@
+#include "core/qbs_index.h"
+
+#include <algorithm>
+#include <iostream>
+#include <utility>
+
+#include "core/serialization.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace qbs {
+
+QbsIndex QbsIndex::Build(const Graph& g, const QbsOptions& options) {
+  return BuildWithLandmarks(
+      g,
+      SelectLandmarks(g, options.num_landmarks, options.landmark_strategy,
+                      options.seed),
+      options);
+}
+
+QbsIndex QbsIndex::BuildWithLandmarks(const Graph& g,
+                                      std::vector<VertexId> landmarks,
+                                      const QbsOptions& options) {
+  QbsIndex index;
+  index.g_ = &g;
+
+  WallTimer timer;
+  LabelingBuildOptions build_options;
+  build_options.num_threads = options.num_threads;
+  index.scheme_ = std::make_unique<LabelingScheme>(
+      BuildLabelingScheme(g, landmarks, build_options));
+  index.timings_.labeling_seconds = timer.ElapsedSeconds();
+
+  if (options.precompute_delta) {
+    timer.Reset();
+    index.delta_ = std::make_unique<DeltaCache>(
+        DeltaCache::Build(g, index.scheme_->labeling, index.scheme_->meta,
+                          options.num_threads));
+    index.timings_.delta_seconds = timer.ElapsedSeconds();
+  }
+
+  index.sparsified_ = std::make_unique<Graph>(
+      MakeSparsifiedGraph(g, index.scheme_->labeling));
+  index.searcher_ = std::make_unique<GuidedSearcher>(
+      g, *index.sparsified_, index.scheme_->labeling, index.scheme_->meta,
+      index.delta_.get());
+  return index;
+}
+
+std::optional<QbsIndex> QbsIndex::LoadFromFile(const Graph& g,
+                                               const std::string& path,
+                                               const QbsOptions& options) {
+  auto scheme = LoadLabelingScheme(path);
+  if (!scheme.has_value()) return std::nullopt;
+  if (scheme->labeling.num_vertices() != g.NumVertices()) {
+    std::cerr << "QbsIndex::LoadFromFile: index was built for "
+              << scheme->labeling.num_vertices() << " vertices, graph has "
+              << g.NumVertices() << std::endl;
+    return std::nullopt;
+  }
+  QbsIndex index;
+  index.g_ = &g;
+  index.scheme_ = std::make_unique<LabelingScheme>(std::move(*scheme));
+  if (options.precompute_delta) {
+    WallTimer timer;
+    index.delta_ = std::make_unique<DeltaCache>(
+        DeltaCache::Build(g, index.scheme_->labeling, index.scheme_->meta,
+                          options.num_threads));
+    index.timings_.delta_seconds = timer.ElapsedSeconds();
+  }
+  index.sparsified_ = std::make_unique<Graph>(
+      MakeSparsifiedGraph(g, index.scheme_->labeling));
+  index.searcher_ = std::make_unique<GuidedSearcher>(
+      g, *index.sparsified_, index.scheme_->labeling, index.scheme_->meta,
+      index.delta_.get());
+  return index;
+}
+
+bool QbsIndex::Save(const std::string& path) const {
+  return SaveLabelingScheme(*scheme_, path);
+}
+
+ShortestPathGraph QbsIndex::Query(VertexId u, VertexId v,
+                                  SearchStats* stats) {
+  return searcher_->Query(u, v, stats);
+}
+
+std::vector<ShortestPathGraph> QbsIndex::QueryBatch(
+    const std::vector<std::pair<VertexId, VertexId>>& pairs,
+    size_t num_threads) {
+  std::vector<ShortestPathGraph> results(pairs.size());
+  const size_t workers = std::min(EffectiveThreads(num_threads),
+                                  std::max<size_t>(pairs.size(), 1));
+  // One searcher per worker; all share the labelling, meta-graph, D cache,
+  // and the materialized sparsified graph (read-only).
+  std::vector<std::unique_ptr<GuidedSearcher>> searchers;
+  searchers.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    searchers.push_back(std::make_unique<GuidedSearcher>(
+        *g_, *sparsified_, scheme_->labeling, scheme_->meta, delta_.get()));
+  }
+  ParallelFor(pairs.size(), workers, [&](size_t i, size_t worker) {
+    results[i] = searchers[worker]->Query(pairs[i].first, pairs[i].second);
+  });
+  return results;
+}
+
+uint32_t QbsIndex::DistanceUpperBound(VertexId u, VertexId v) const {
+  QBS_CHECK_LT(u, g_->NumVertices());
+  QBS_CHECK_LT(v, g_->NumVertices());
+  if (u == v) return 0;
+  return ComputeSketch(scheme_->labeling, scheme_->meta, u, v).d_top;
+}
+
+}  // namespace qbs

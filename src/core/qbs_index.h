@@ -1,0 +1,132 @@
+// QbsIndex — the public facade of the library.
+//
+// Usage:
+//
+//   Graph g = ...;                       // must outlive the index
+//   QbsIndex index = QbsIndex::Build(g, {.num_landmarks = 20});
+//   ShortestPathGraph spg = index.Query(u, v);
+//
+// Build() runs the offline phase (labelling scheme construction, Algorithm
+// 2, optionally in parallel = the paper's QbS-P, plus the optional Δ
+// precomputation); Query() runs the online phase (sketching, Algorithm 3,
+// then guided searching, Algorithm 4).
+
+#ifndef QBS_CORE_QBS_INDEX_H_
+#define QBS_CORE_QBS_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/delta_cache.h"
+#include "core/guided_search.h"
+#include "core/labeling.h"
+#include "core/landmark_selection.h"
+#include "core/meta_graph.h"
+#include "core/search_stats.h"
+#include "core/sketch.h"
+#include "graph/graph.h"
+#include "graph/spg.h"
+
+namespace qbs {
+
+struct QbsOptions {
+  // |R|; the paper's default is 20 (§6.1). Clamped to |V|.
+  uint32_t num_landmarks = 20;
+  LandmarkStrategy landmark_strategy = LandmarkStrategy::kHighestDegree;
+  // Seed for the random landmark strategy.
+  uint64_t seed = 42;
+  // Labelling construction threads: 1 = sequential QbS, 0 = all hardware
+  // threads (QbS-P), otherwise the exact count.
+  size_t num_threads = 1;
+  // Precompute Δ: the shortest path graphs between landmarks (§5.2), so
+  // queries splice cached segments instead of re-deriving them. On by
+  // default — the paper's QbS includes Δ (Table 3 reports its size for
+  // every dataset); turn off to trade query time for build time/space.
+  bool precompute_delta = true;
+};
+
+struct QbsBuildTimings {
+  double labeling_seconds = 0.0;
+  double delta_seconds = 0.0;
+};
+
+class QbsIndex {
+ public:
+  // Builds an index over `g`, which must outlive the index.
+  static QbsIndex Build(const Graph& g, const QbsOptions& options = {});
+
+  // As Build(), with caller-chosen landmarks (distinct vertex ids).
+  static QbsIndex BuildWithLandmarks(const Graph& g,
+                                     std::vector<VertexId> landmarks,
+                                     const QbsOptions& options = {});
+
+  // Loads a labelling scheme previously written by Save() and finishes the
+  // index against `g` (which must be the same graph the scheme was built
+  // on; vertex-count mismatches are rejected). Honors
+  // options.precompute_delta / num_threads for the Δ rebuild. Returns
+  // std::nullopt on I/O or format errors.
+  static std::optional<QbsIndex> LoadFromFile(const Graph& g,
+                                              const std::string& path,
+                                              const QbsOptions& options = {});
+
+  // Persists the labelling scheme (labels + meta-graph; Δ is rebuilt on
+  // load). Returns false on I/O failure.
+  bool Save(const std::string& path) const;
+
+  QbsIndex(QbsIndex&&) = default;
+  QbsIndex& operator=(QbsIndex&&) = default;
+
+  // Answers SPG(u, v) exactly. Non-const: reuses per-index search scratch;
+  // use QueryBatch (or one GuidedSearcher per thread) for concurrent reads.
+  ShortestPathGraph Query(VertexId u, VertexId v,
+                          SearchStats* stats = nullptr);
+
+  // Answers many queries in parallel (num_threads = 0 means all hardware
+  // threads). Workers share the index's read-only state and the
+  // materialized sparsified graph; results align with `pairs`.
+  std::vector<ShortestPathGraph> QueryBatch(
+      const std::vector<std::pair<VertexId, VertexId>>& pairs,
+      size_t num_threads = 0);
+
+  // The sketch upper bound d⊤ (Eq. 3) — an upper bound on d_G(u, v), tight
+  // whenever a shortest path crosses a landmark. O(|R|^2), no search.
+  uint32_t DistanceUpperBound(VertexId u, VertexId v) const;
+
+  const std::vector<VertexId>& landmarks() const {
+    return scheme_->labeling.landmarks();
+  }
+  const PathLabeling& labeling() const { return scheme_->labeling; }
+  const MetaGraph& meta_graph() const { return scheme_->meta; }
+  const DeltaCache* delta_cache() const { return delta_.get(); }
+  const QbsBuildTimings& timings() const { return timings_; }
+
+  // size(L): bytes of the path labelling (Table 3).
+  uint64_t LabelingSizeBytes() const {
+    return scheme_->labeling.SizeBytes();
+  }
+  // size(Δ): bytes of the precomputed landmark shortest path graphs
+  // (Table 3); 0 when precompute_delta is off.
+  uint64_t DeltaSizeBytes() const {
+    return delta_ == nullptr ? 0 : delta_->SizeBytes();
+  }
+  uint64_t MetaGraphSizeBytes() const { return scheme_->meta.SizeBytes(); }
+
+ private:
+  QbsIndex() = default;
+
+  const Graph* g_ = nullptr;  // not owned
+  // Heap-allocated so GuidedSearcher's references survive moves.
+  std::unique_ptr<LabelingScheme> scheme_;
+  std::unique_ptr<Graph> sparsified_;  // shared G⁻ for all searchers
+  std::unique_ptr<DeltaCache> delta_;
+  std::unique_ptr<GuidedSearcher> searcher_;
+  QbsBuildTimings timings_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_CORE_QBS_INDEX_H_

@@ -1,0 +1,107 @@
+#include "core/serialization.h"
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+namespace qbs {
+namespace {
+
+constexpr uint64_t kMagic = 0x3130584449534251ull;  // "QBSIDX01"
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+bool SaveLabelingScheme(const LabelingScheme& scheme,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "SaveLabelingScheme: cannot open " << path << std::endl;
+    return false;
+  }
+  const PathLabeling& l = scheme.labeling;
+  WritePod(out, kMagic);
+  WritePod(out, l.num_vertices());
+  WritePod(out, l.num_landmarks());
+  for (VertexId r : l.landmarks()) WritePod(out, r);
+  for (VertexId v = 0; v < l.num_vertices(); ++v) {
+    for (LandmarkIndex i = 0; i < l.num_landmarks(); ++i) {
+      WritePod(out, l.Get(v, i));
+    }
+  }
+  const auto& edges = scheme.meta.Edges();
+  WritePod(out, static_cast<uint64_t>(edges.size()));
+  for (const MetaEdge& e : edges) {
+    WritePod(out, e.a);
+    WritePod(out, e.b);
+    WritePod(out, e.weight);
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<LabelingScheme> LoadLabelingScheme(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "LoadLabelingScheme: cannot open " << path << std::endl;
+    return std::nullopt;
+  }
+  uint64_t magic = 0;
+  VertexId num_vertices = 0;
+  uint32_t k = 0;
+  if (!ReadPod(in, &magic) || magic != kMagic ||
+      !ReadPod(in, &num_vertices) || !ReadPod(in, &k)) {
+    std::cerr << "LoadLabelingScheme: bad header in " << path << std::endl;
+    return std::nullopt;
+  }
+  std::vector<VertexId> landmarks(k);
+  for (auto& r : landmarks) {
+    if (!ReadPod(in, &r) || r >= num_vertices) {
+      std::cerr << "LoadLabelingScheme: bad landmark" << std::endl;
+      return std::nullopt;
+    }
+  }
+  LabelingScheme scheme;
+  scheme.labeling = PathLabeling(num_vertices, std::move(landmarks));
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    for (LandmarkIndex i = 0; i < k; ++i) {
+      DistT d = kInfDist;
+      if (!ReadPod(in, &d)) {
+        std::cerr << "LoadLabelingScheme: truncated labels" << std::endl;
+        return std::nullopt;
+      }
+      scheme.labeling.Set(v, i, d);
+    }
+  }
+  uint64_t num_edges = 0;
+  if (!ReadPod(in, &num_edges)) {
+    std::cerr << "LoadLabelingScheme: truncated meta header" << std::endl;
+    return std::nullopt;
+  }
+  scheme.meta = MetaGraph(k);
+  for (uint64_t e = 0; e < num_edges; ++e) {
+    LandmarkIndex a = 0;
+    LandmarkIndex b = 0;
+    uint32_t w = 0;
+    if (!ReadPod(in, &a) || !ReadPod(in, &b) || !ReadPod(in, &w) || a >= k ||
+        b >= k || a == b || w == 0) {
+      std::cerr << "LoadLabelingScheme: bad meta edge" << std::endl;
+      return std::nullopt;
+    }
+    scheme.meta.AddEdge(a, b, w);
+  }
+  scheme.meta.Finalize();
+  return scheme;
+}
+
+}  // namespace qbs

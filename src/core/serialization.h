@@ -1,0 +1,38 @@
+// Binary persistence for the labelling scheme, so the offline phase runs
+// once and query servers load the precomputed index at startup.
+//
+// Format (version QBSIDX01, little-endian, host-endianness — the index is a
+// single-machine artifact like the paper's):
+//   u64  magic 'QBSIDX01'
+//   u32  num_vertices
+//   u32  num_landmarks k
+//   u32  landmarks[k]            (vertex ids)
+//   u16  labels[num_vertices*k]  (kInfDist = absent)
+//   u64  num_meta_edges
+//   (u32 a, u32 b, u32 weight) * num_meta_edges
+//
+// The Δ cache is intentionally not stored: rebuilding it from the loaded
+// labels is a fast parallel pass, and skipping it keeps files small.
+
+#ifndef QBS_CORE_SERIALIZATION_H_
+#define QBS_CORE_SERIALIZATION_H_
+
+#include <optional>
+#include <string>
+
+#include "core/labeling.h"
+
+namespace qbs {
+
+// Writes the labelling scheme to `path`. Returns false on I/O failure (a
+// message goes to stderr).
+bool SaveLabelingScheme(const LabelingScheme& scheme,
+                        const std::string& path);
+
+// Reads a labelling scheme previously written by SaveLabelingScheme.
+// Returns std::nullopt on I/O failure, bad magic, or a corrupt layout.
+std::optional<LabelingScheme> LoadLabelingScheme(const std::string& path);
+
+}  // namespace qbs
+
+#endif  // QBS_CORE_SERIALIZATION_H_

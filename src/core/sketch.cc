@@ -1,0 +1,116 @@
+#include "core/sketch.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace qbs {
+
+namespace {
+
+void AnchorCandidatesInto(const PathLabeling& labeling, VertexId t,
+                          std::vector<SketchAnchor>* out) {
+  out->clear();
+  const int32_t rank = labeling.LandmarkRank(t);
+  if (rank >= 0) {
+    out->push_back(SketchAnchor{static_cast<LandmarkIndex>(rank), 0});
+    return;
+  }
+  const uint32_t k = labeling.num_landmarks();
+  for (LandmarkIndex i = 0; i < k; ++i) {
+    const DistT d = labeling.Get(t, i);
+    if (d != kInfDist) out->push_back(SketchAnchor{i, d});
+  }
+}
+
+}  // namespace
+
+std::vector<SketchAnchor> AnchorCandidates(const PathLabeling& labeling,
+                                           VertexId t) {
+  std::vector<SketchAnchor> out;
+  AnchorCandidatesInto(labeling, t, &out);
+  return out;
+}
+
+Sketch ComputeSketch(const PathLabeling& labeling, const MetaGraph& meta,
+                     VertexId u, VertexId v) {
+  Sketch sketch;
+  SketchScratch scratch;
+  ComputeSketchInto(labeling, meta, u, v, &sketch, &scratch);
+  return sketch;
+}
+
+void ComputeSketchInto(const PathLabeling& labeling, const MetaGraph& meta,
+                       VertexId u, VertexId v, Sketch* sketch,
+                       SketchScratch* scratch) {
+  QBS_DCHECK(meta.finalized());
+  sketch->d_top = kUnreachable;
+  sketch->u_anchors.clear();
+  sketch->v_anchors.clear();
+  sketch->meta_edges.clear();
+  sketch->d_star_u = 0;
+  sketch->d_star_v = 0;
+
+  AnchorCandidatesInto(labeling, u, &scratch->cu);
+  AnchorCandidatesInto(labeling, v, &scratch->cv);
+
+  // Pass 1: d⊤ = min over candidate pairs (Eq. 3). Pairs with r == r'
+  // (single common landmark) are included: d_M(r, r) = 0.
+  for (const SketchAnchor& a : scratch->cu) {
+    for (const SketchAnchor& b : scratch->cv) {
+      const uint32_t mid = meta.Distance(a.landmark, b.landmark);
+      if (mid == kUnreachable) continue;
+      const uint32_t total = a.delta + mid + b.delta;
+      sketch->d_top = std::min(sketch->d_top, total);
+    }
+  }
+  if (sketch->d_top == kUnreachable) return;
+
+  // Pass 2: anchors and minimizing (r, r') pairs.
+  scratch->min_pairs.clear();
+  for (const SketchAnchor& a : scratch->cu) {
+    for (const SketchAnchor& b : scratch->cv) {
+      const uint32_t mid = meta.Distance(a.landmark, b.landmark);
+      if (mid == kUnreachable) continue;
+      if (a.delta + mid + b.delta != sketch->d_top) continue;
+      sketch->u_anchors.push_back(a);
+      sketch->v_anchors.push_back(b);
+      scratch->min_pairs.emplace_back(a.landmark, b.landmark);
+    }
+  }
+  auto dedupe = [](std::vector<SketchAnchor>& anchors) {
+    std::sort(anchors.begin(), anchors.end());
+    anchors.erase(std::unique(anchors.begin(), anchors.end()), anchors.end());
+  };
+  dedupe(sketch->u_anchors);
+  dedupe(sketch->v_anchors);
+
+  // Pass 3: one sweep over the meta-edges, testing membership in any
+  // minimizing pair's shortest meta-path graph.
+  const auto& edges = meta.Edges();
+  scratch->meta_edge_used.assign(edges.size(), 0);
+  for (size_t e = 0; e < edges.size(); ++e) {
+    for (const auto& [r, r2] : scratch->min_pairs) {
+      if (meta.EdgeOnShortestPath(edges[e], r, r2)) {
+        scratch->meta_edge_used[e] = 1;
+        sketch->meta_edges.push_back(edges[e]);
+        break;
+      }
+    }
+  }
+
+  // Eq. 4: d*_t = max σ_S(r, t) − 1, clamped at 0 (a landmark endpoint has
+  // the single anchor σ = 0 and needs no sparsified-graph search).
+  for (const SketchAnchor& a : sketch->u_anchors) {
+    if (a.delta > 0) {
+      sketch->d_star_u = std::max<uint32_t>(sketch->d_star_u, a.delta - 1u);
+    }
+  }
+  for (const SketchAnchor& b : sketch->v_anchors) {
+    if (b.delta > 0) {
+      sketch->d_star_v = std::max<uint32_t>(sketch->d_star_v, b.delta - 1u);
+    }
+  }
+}
+
+}  // namespace qbs

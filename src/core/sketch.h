@@ -1,0 +1,85 @@
+// Sketch computation (Definition 4.5, Algorithm 3).
+//
+// A sketch for SPG(u, v) is the subgraph of {u, v} ∪ R induced by the
+// minimum-length u→landmark→…→landmark→v routes implied by the labelling
+// scheme. It yields:
+//   * d⊤_uv  — an upper bound on d_G(u, v) that is tight whenever some
+//              shortest path passes through a landmark (Corollary 4.6);
+//   * anchors — the (landmark, δ) pairs connecting u and v into the sketch;
+//   * meta-edges on the shortest meta-paths between minimizing landmark
+//     pairs;
+//   * d*_u, d*_v — per-side search depth suggestions (Eq. 4).
+//
+// With the meta-graph APSP precomputed (§5.2) this costs
+// O(|L(u)|·|L(v)| + |E_M|) = O(|R|^2).
+
+#ifndef QBS_CORE_SKETCH_H_
+#define QBS_CORE_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/labeling.h"
+#include "core/meta_graph.h"
+#include "core/types.h"
+#include "graph/bfs.h"
+#include "graph/graph.h"
+
+namespace qbs {
+
+// An edge (t, r) of the sketch between an endpoint t ∈ {u, v} and a
+// landmark, weighted σ_S(t, r) = d_G(t, r). delta == 0 iff t is itself that
+// landmark.
+struct SketchAnchor {
+  LandmarkIndex landmark = 0;
+  DistT delta = 0;
+
+  friend bool operator==(const SketchAnchor& a, const SketchAnchor& b) {
+    return a.landmark == b.landmark && a.delta == b.delta;
+  }
+  friend bool operator<(const SketchAnchor& a, const SketchAnchor& b) {
+    return a.landmark != b.landmark ? a.landmark < b.landmark
+                                    : a.delta < b.delta;
+  }
+};
+
+struct Sketch {
+  // d⊤_uv of Eq. 3; kUnreachable when no landmark route connects u and v.
+  uint32_t d_top = kUnreachable;
+  // Sketch edges (u, r) and (v, r') over all minimizing pairs.
+  std::vector<SketchAnchor> u_anchors;
+  std::vector<SketchAnchor> v_anchors;
+  // Meta-edges lying on a shortest meta-path of some minimizing pair.
+  std::vector<MetaEdge> meta_edges;
+  // Eq. 4 search-depth guides (0 when a side has no anchors or is itself a
+  // landmark).
+  uint32_t d_star_u = 0;
+  uint32_t d_star_v = 0;
+};
+
+// Reusable buffers for sketch computation: queries are microsecond-scale,
+// so per-query allocations are a measurable constant factor.
+struct SketchScratch {
+  std::vector<SketchAnchor> cu, cv;
+  std::vector<std::pair<LandmarkIndex, LandmarkIndex>> min_pairs;
+  std::vector<uint8_t> meta_edge_used;
+};
+
+// Computes the sketch for SPG(u, v). Either endpoint may be a landmark, in
+// which case it participates with the virtual entry (itself, 0).
+Sketch ComputeSketch(const PathLabeling& labeling, const MetaGraph& meta,
+                     VertexId u, VertexId v);
+
+// Allocation-free variant: clears and refills *sketch using *scratch.
+void ComputeSketchInto(const PathLabeling& labeling, const MetaGraph& meta,
+                       VertexId u, VertexId v, Sketch* sketch,
+                       SketchScratch* scratch);
+
+// The label entries of `t` as sketch-anchor candidates: its stored label,
+// or {(rank(t), 0)} if t is a landmark.
+std::vector<SketchAnchor> AnchorCandidates(const PathLabeling& labeling,
+                                           VertexId t);
+
+}  // namespace qbs
+
+#endif  // QBS_CORE_SKETCH_H_

@@ -1,0 +1,21 @@
+// Shared scalar types for the QbS core.
+
+#ifndef QBS_CORE_TYPES_H_
+#define QBS_CORE_TYPES_H_
+
+#include <cstdint>
+
+namespace qbs {
+
+// Distance stored in a path label. 16 bits: complex networks have tiny
+// diameters (the paper stores 8 bits), but the test suite exercises
+// high-diameter structured graphs too. 0xFFFF marks "landmark not in label".
+using DistT = uint16_t;
+inline constexpr DistT kInfDist = 0xFFFF;
+
+// Index of a landmark within the landmark set R (not a vertex id).
+using LandmarkIndex = uint32_t;
+
+}  // namespace qbs
+
+#endif  // QBS_CORE_TYPES_H_

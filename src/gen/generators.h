@@ -1,0 +1,57 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on 12 public complex networks (Table 1). In an offline
+// environment we substitute generators that reproduce the structural
+// properties the QbS results depend on: heavy-tailed degree distributions
+// with hub vertices (Barabási–Albert, R-MAT), small diameter, local
+// clustering (Watts–Strogatz), and near-uniform degrees (for the
+// Friendster-like case where landmarks cover few pairs). Deterministic
+// seeds make every experiment reproducible.
+//
+// All generators return simple undirected graphs (no self-loops, no
+// parallel edges). Structured generators (path, cycle, grid, star, complete,
+// binary tree) exist mainly for tests with analytically known shortest path
+// graphs.
+
+#ifndef QBS_GEN_GENERATORS_H_
+#define QBS_GEN_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace qbs {
+
+// G(n, m) Erdős–Rényi: n vertices, `num_edges` distinct uniform random
+// edges.
+Graph ErdosRenyi(VertexId n, uint64_t num_edges, uint64_t seed);
+
+// Barabási–Albert preferential attachment: starts from a small clique and
+// attaches each new vertex to `m` existing vertices chosen proportionally
+// to degree. Produces the power-law hubs typical of social/web networks.
+// The result is connected.
+Graph BarabasiAlbert(VertexId n, uint32_t m, uint64_t seed);
+
+// Watts–Strogatz small-world: ring lattice with k nearest neighbours per
+// vertex (k even), each edge rewired with probability beta. Near-uniform
+// degrees — the Friendster-like regime where no vertex dominates.
+Graph WattsStrogatz(VertexId n, uint32_t k, double beta, uint64_t seed);
+
+// R-MAT / Kronecker-style recursive generator: 2^scale vertices,
+// edge_factor * 2^scale sampled edges with quadrant probabilities
+// (a, b, c, implied d = 1-a-b-c). Models web crawls with extreme hubs.
+// Duplicates collapse, so the final edge count is slightly lower.
+Graph RMat(uint32_t scale, uint32_t edge_factor, double a, double b, double c,
+           uint64_t seed);
+
+// Deterministic structured graphs.
+Graph PathGraph(VertexId n);
+Graph CycleGraph(VertexId n);
+Graph GridGraph(uint32_t rows, uint32_t cols);
+Graph StarGraph(VertexId n);        // vertex 0 is the hub, n >= 1 vertices
+Graph CompleteGraph(VertexId n);
+Graph CompleteBinaryTree(VertexId n);
+
+}  // namespace qbs
+
+#endif  // QBS_GEN_GENERATORS_H_

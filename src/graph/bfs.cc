@@ -1,0 +1,92 @@
+#include "graph/bfs.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace qbs {
+
+std::vector<uint32_t> BfsDistances(const Graph& g, VertexId source) {
+  return BfsDistancesBounded(g, source, kUnreachable - 1);
+}
+
+std::vector<uint32_t> BfsDistancesBounded(const Graph& g, VertexId source,
+                                          uint32_t max_depth) {
+  QBS_CHECK_LT(source, g.NumVertices());
+  std::vector<uint32_t> dist(g.NumVertices(), kUnreachable);
+  std::vector<VertexId> queue;
+  queue.reserve(256);
+  dist[source] = 0;
+  queue.push_back(source);
+  size_t head = 0;
+  while (head < queue.size()) {
+    const VertexId u = queue[head++];
+    const uint32_t du = dist[u];
+    if (du >= max_depth) continue;
+    for (VertexId w : g.Neighbors(u)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = du + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+uint32_t BiBfsDistance(const Graph& g, VertexId u, VertexId v) {
+  QBS_CHECK_LT(u, g.NumVertices());
+  QBS_CHECK_LT(v, g.NumVertices());
+  if (u == v) return 0;
+
+  // side 0 = from u, side 1 = from v.
+  std::vector<uint32_t> dist[2] = {
+      std::vector<uint32_t>(g.NumVertices(), kUnreachable),
+      std::vector<uint32_t>(g.NumVertices(), kUnreachable)};
+  std::vector<VertexId> frontier[2] = {{u}, {v}};
+  dist[0][u] = 0;
+  dist[1][v] = 0;
+  uint32_t depth[2] = {0, 0};
+
+  while (!frontier[0].empty() && !frontier[1].empty()) {
+    // Expand the side whose frontier has the smaller total degree.
+    uint64_t vol[2] = {0, 0};
+    for (int s = 0; s < 2; ++s) {
+      for (VertexId x : frontier[s]) vol[s] += g.Degree(x);
+    }
+    const int s = vol[0] <= vol[1] ? 0 : 1;
+    const int o = 1 - s;
+
+    // Scan the whole level before concluding: the first crossing edge found
+    // is not necessarily on a shortest path, but the minimum over the level
+    // is (any path of length <= depth[s]+1+depth[o] crosses from this
+    // frontier into a vertex already settled by the other side).
+    uint32_t best = kUnreachable;
+    std::vector<VertexId> next;
+    for (VertexId x : frontier[s]) {
+      for (VertexId w : g.Neighbors(x)) {
+        if (dist[o][w] != kUnreachable) {
+          best = std::min(best, depth[s] + 1 + dist[o][w]);
+        }
+        if (dist[s][w] == kUnreachable) {
+          dist[s][w] = depth[s] + 1;
+          next.push_back(w);
+        }
+      }
+    }
+    if (best != kUnreachable) return best;
+    ++depth[s];
+    frontier[s] = std::move(next);
+  }
+  return kUnreachable;
+}
+
+uint32_t Eccentricity(const Graph& g, VertexId source) {
+  const auto dist = BfsDistances(g, source);
+  uint32_t ecc = 0;
+  for (uint32_t d : dist) {
+    if (d != kUnreachable) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+}  // namespace qbs

@@ -1,0 +1,38 @@
+// Breadth-first search primitives shared by indexes, baselines, and the
+// workload tooling.
+
+#ifndef QBS_GRAPH_BFS_H_
+#define QBS_GRAPH_BFS_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace qbs {
+
+// Sentinel distance for unreachable vertices.
+inline constexpr uint32_t kUnreachable = std::numeric_limits<uint32_t>::max();
+
+// Full single-source BFS. Returns the distance array (kUnreachable for
+// vertices not connected to `source`).
+std::vector<uint32_t> BfsDistances(const Graph& g, VertexId source);
+
+// Single-source BFS truncated at `max_depth` (inclusive). Vertices farther
+// than max_depth keep kUnreachable.
+std::vector<uint32_t> BfsDistancesBounded(const Graph& g, VertexId source,
+                                          uint32_t max_depth);
+
+// Point-to-point distance via level-synchronous bidirectional BFS, expanding
+// the side with the smaller frontier volume (sum of degrees). Returns
+// kUnreachable if disconnected. This is the distance kernel of the Bi-BFS
+// baseline [Goldberg & Harrelson 2005] and of the workload tooling (Fig. 7).
+uint32_t BiBfsDistance(const Graph& g, VertexId u, VertexId v);
+
+// Eccentricity of `source`: max finite BFS distance.
+uint32_t Eccentricity(const Graph& g, VertexId source);
+
+}  // namespace qbs
+
+#endif  // QBS_GRAPH_BFS_H_

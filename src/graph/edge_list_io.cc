@@ -1,0 +1,95 @@
+#include "graph/edge_list_io.h"
+
+#include <cctype>
+#include <cstdint>
+#include <limits>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace qbs {
+namespace {
+
+bool ParseUint64(const char*& p, uint64_t* out) {
+  while (*p == ' ' || *p == '\t' || *p == ',') ++p;
+  if (!std::isdigit(static_cast<unsigned char>(*p))) return false;
+  uint64_t value = 0;
+  while (std::isdigit(static_cast<unsigned char>(*p))) {
+    value = value * 10 + static_cast<uint64_t>(*p - '0');
+    ++p;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::optional<Graph> ReadEdgeList(const std::string& path,
+                                  const EdgeListReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "ReadEdgeList: cannot open " << path << std::endl;
+    return std::nullopt;
+  }
+
+  GraphBuilder builder;
+  std::unordered_map<uint64_t, VertexId> relabel_map;
+  auto map_id = [&](uint64_t raw) -> VertexId {
+    if (!options.relabel) return static_cast<VertexId>(raw);
+    auto [it, inserted] =
+        relabel_map.try_emplace(raw, static_cast<VertexId>(relabel_map.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (options.comment_prefixes.find(line[0]) != std::string::npos) continue;
+    const char* p = line.c_str();
+    uint64_t a = 0;
+    uint64_t b = 0;
+    if (!ParseUint64(p, &a) || !ParseUint64(p, &b)) {
+      std::cerr << "ReadEdgeList: parse error at " << path << ":" << line_no
+                << std::endl;
+      return std::nullopt;
+    }
+    if (!options.relabel &&
+        (a > std::numeric_limits<VertexId>::max() ||
+         b > std::numeric_limits<VertexId>::max())) {
+      std::cerr << "ReadEdgeList: id overflow at " << path << ":" << line_no
+                << " (enable relabel)" << std::endl;
+      return std::nullopt;
+    }
+    // Sequence the lookups: first-appearance relabelling must follow the
+    // file's left-to-right order (argument evaluation order is unspecified).
+    const VertexId ua = map_id(a);
+    const VertexId vb = map_id(b);
+    builder.AddEdge(ua, vb);
+  }
+  return builder.Build();
+}
+
+bool WriteEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "WriteEdgeList: cannot open " << path << std::endl;
+    return false;
+  }
+  out << "# " << g.NumVertices() << " " << g.NumEdges() << "\n";
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (VertexId w : g.Neighbors(v)) {
+      if (v < w) out << v << " " << w << "\n";
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace qbs

@@ -1,0 +1,80 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace qbs {
+
+Graph Graph::FromEdges(VertexId num_vertices, std::vector<Edge> edges) {
+  // Normalize, drop self-loops, dedupe.
+  size_t out = 0;
+  for (const Edge& e : edges) {
+    QBS_CHECK_LT(e.u, num_vertices);
+    QBS_CHECK_LT(e.v, num_vertices);
+    if (e.u == e.v) continue;
+    edges[out++] = e.Normalized();
+  }
+  edges.resize(out);
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  Graph g;
+  g.offsets_.assign(static_cast<size_t>(num_vertices) + 1, 0);
+  // Count degrees.
+  for (const Edge& e : edges) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (size_t v = 1; v < g.offsets_.size(); ++v) {
+    g.offsets_[v] += g.offsets_[v - 1];
+  }
+  g.adjacency_.resize(edges.size() * 2);
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    g.adjacency_[cursor[e.u]++] = e.v;
+    g.adjacency_[cursor[e.v]++] = e.u;
+  }
+  // Each per-vertex slice is sorted because edges were sorted by (u, v) and
+  // filled in order for the u side; the v side needs a per-vertex sort.
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    std::sort(g.adjacency_.begin() + static_cast<ptrdiff_t>(g.offsets_[v]),
+              g.adjacency_.begin() + static_cast<ptrdiff_t>(g.offsets_[v + 1]));
+  }
+  return g;
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  QBS_DCHECK(u < NumVertices() && v < NumVertices());
+  // Search the smaller list.
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  const auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+uint32_t Graph::MaxDegree() const {
+  uint32_t best = 0;
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    best = std::max(best, Degree(v));
+  }
+  return best;
+}
+
+double Graph::AverageDegree() const {
+  if (NumVertices() == 0) return 0.0;
+  return static_cast<double>(adjacency_.size()) /
+         static_cast<double>(NumVertices());
+}
+
+std::vector<Edge> Graph::EdgeList() const {
+  std::vector<Edge> edges;
+  edges.reserve(NumEdges());
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    for (VertexId w : Neighbors(v)) {
+      if (v < w) edges.emplace_back(v, w);
+    }
+  }
+  return edges;
+}
+
+}  // namespace qbs

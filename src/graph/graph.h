@@ -1,0 +1,93 @@
+// Immutable CSR (compressed sparse row) representation of an unweighted,
+// undirected, simple graph. This is the substrate every index and search in
+// the library operates on.
+//
+// Vertex ids are dense integers [0, NumVertices()). Adjacency lists are
+// sorted ascending, self-loops and parallel edges are removed at build time,
+// and every undirected edge {u, v} is stored in both lists (as the paper's
+// Table 1 does when it reports |G| with "each edge appearing in the
+// adjacency lists").
+
+#ifndef QBS_GRAPH_GRAPH_H_
+#define QBS_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace qbs {
+
+using VertexId = uint32_t;
+
+// An undirected edge. Normalized() orders the endpoints so edge sets can be
+// compared with std::sort + std::unique.
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+
+  Edge() = default;
+  Edge(VertexId a, VertexId b) : u(a), v(b) {}
+
+  Edge Normalized() const { return u <= v ? Edge(u, v) : Edge(v, u); }
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.u == b.u && a.v == b.v;
+  }
+  friend bool operator<(const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  }
+};
+
+class Graph {
+ public:
+  // Empty graph.
+  Graph() = default;
+
+  // Builds a graph with `num_vertices` vertices from an arbitrary edge list.
+  // Self-loops are dropped; duplicate edges (in either orientation) are
+  // merged. Endpoints must be < num_vertices.
+  static Graph FromEdges(VertexId num_vertices, std::vector<Edge> edges);
+
+  VertexId NumVertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+
+  // Number of undirected edges (each {u, v} counted once).
+  uint64_t NumEdges() const { return adjacency_.size() / 2; }
+
+  uint32_t Degree(VertexId v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  // Sorted ascending adjacency list of v.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  // True iff the undirected edge {u, v} exists. O(log deg(u)).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  uint32_t MaxDegree() const;
+  double AverageDegree() const;
+
+  // All undirected edges, each once, normalized and sorted.
+  std::vector<Edge> EdgeList() const;
+
+  // Bytes of the adjacency structure (offsets + adjacency), the quantity the
+  // paper's Table 1 reports as |G|.
+  uint64_t SizeBytes() const {
+    return offsets_.size() * sizeof(uint64_t) +
+           adjacency_.size() * sizeof(VertexId);
+  }
+
+ private:
+  // CSR arrays: neighbors of v are adjacency_[offsets_[v] .. offsets_[v+1]).
+  std::vector<uint64_t> offsets_;
+  std::vector<VertexId> adjacency_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_GRAPH_GRAPH_H_

@@ -1,0 +1,14 @@
+#include "graph/graph_builder.h"
+
+#include <utility>
+
+namespace qbs {
+
+Graph GraphBuilder::Build() {
+  Graph g = Graph::FromEdges(num_vertices_, std::move(edges_));
+  edges_.clear();
+  num_vertices_ = 0;
+  return g;
+}
+
+}  // namespace qbs

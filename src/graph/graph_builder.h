@@ -1,0 +1,43 @@
+// Incremental construction of a Graph from streamed edges, with optional
+// automatic growth of the vertex space. Used by the generators and I/O.
+
+#ifndef QBS_GRAPH_GRAPH_BUILDER_H_
+#define QBS_GRAPH_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace qbs {
+
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  // Pre-declares at least `n` vertices (ids [0, n) exist even if isolated).
+  explicit GraphBuilder(VertexId n) : num_vertices_(n) {}
+
+  // Adds the undirected edge {u, v}. Grows the vertex space to cover both
+  // endpoints. Self-loops and duplicates are tolerated (removed at Build).
+  void AddEdge(VertexId u, VertexId v) {
+    if (u >= num_vertices_) num_vertices_ = u + 1;
+    if (v >= num_vertices_) num_vertices_ = v + 1;
+    edges_.emplace_back(u, v);
+  }
+
+  void ReserveEdges(size_t n) { edges_.reserve(n); }
+
+  VertexId num_vertices() const { return num_vertices_; }
+  size_t num_added_edges() const { return edges_.size(); }
+
+  // Finalizes into an immutable Graph. The builder is left empty.
+  Graph Build();
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,35 @@
+// Independent validation of a ShortestPathGraph against its source graph.
+//
+// Downstream systems that act on SPG answers (interdiction, rerouting)
+// can be safety-critical; this validator re-derives the answer's defining
+// properties from scratch in O(|V| + |E|) so results from any producer —
+// QbsIndex, Bi-BFS, PPL, or an external system — can be checked before use.
+
+#ifndef QBS_GRAPH_SPG_VALIDATE_H_
+#define QBS_GRAPH_SPG_VALIDATE_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/spg.h"
+
+namespace qbs {
+
+struct SpgValidationResult {
+  bool ok = false;
+  // Human-readable reason when !ok.
+  std::string error;
+};
+
+// Checks, by two fresh BFSs over `g`, that `spg` is exactly the shortest
+// path graph between its endpoints (Definition 2.2):
+//   * spg.distance == d_G(u, v) (kUnreachable allowed iff disconnected);
+//   * every edge exists in g and lies on a shortest u-v path;
+//   * every edge of g on a shortest u-v path is present;
+//   * edges are normalized, sorted, and unique.
+SpgValidationResult ValidateShortestPathGraph(const Graph& g,
+                                              const ShortestPathGraph& spg);
+
+}  // namespace qbs
+
+#endif  // QBS_GRAPH_SPG_VALIDATE_H_

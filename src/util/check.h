@@ -1,0 +1,72 @@
+// Lightweight assertion macros in the spirit of glog's CHECK family.
+//
+// The library is built without exceptions (per the project style guide);
+// contract violations terminate the process with a diagnostic instead.
+
+#ifndef QBS_UTIL_CHECK_H_
+#define QBS_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace qbs {
+namespace internal_check {
+
+[[noreturn]] inline void CheckFail(std::string_view file, int line,
+                                   std::string_view expr,
+                                   std::string_view detail = {}) {
+  std::cerr << "QBS_CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!detail.empty()) {
+    std::cerr << " (" << detail << ")";
+  }
+  std::cerr << std::endl;
+  std::abort();
+}
+
+template <typename A, typename B>
+[[noreturn]] void CheckOpFail(std::string_view file, int line,
+                              std::string_view expr, const A& a, const B& b) {
+  std::ostringstream oss;
+  oss << "lhs=" << a << " rhs=" << b;
+  CheckFail(file, line, expr, oss.str());
+}
+
+}  // namespace internal_check
+}  // namespace qbs
+
+#define QBS_CHECK(cond)                                             \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::qbs::internal_check::CheckFail(__FILE__, __LINE__, #cond);  \
+    }                                                               \
+  } while (false)
+
+#define QBS_CHECK_OP_IMPL(a, b, op)                                         \
+  do {                                                                      \
+    const auto& qbs_check_a = (a);                                          \
+    const auto& qbs_check_b = (b);                                          \
+    if (!(qbs_check_a op qbs_check_b)) {                                    \
+      ::qbs::internal_check::CheckOpFail(__FILE__, __LINE__,                \
+                                         #a " " #op " " #b, qbs_check_a,    \
+                                         qbs_check_b);                      \
+    }                                                                       \
+  } while (false)
+
+#define QBS_CHECK_EQ(a, b) QBS_CHECK_OP_IMPL(a, b, ==)
+#define QBS_CHECK_NE(a, b) QBS_CHECK_OP_IMPL(a, b, !=)
+#define QBS_CHECK_LT(a, b) QBS_CHECK_OP_IMPL(a, b, <)
+#define QBS_CHECK_LE(a, b) QBS_CHECK_OP_IMPL(a, b, <=)
+#define QBS_CHECK_GT(a, b) QBS_CHECK_OP_IMPL(a, b, >)
+#define QBS_CHECK_GE(a, b) QBS_CHECK_OP_IMPL(a, b, >=)
+
+#ifdef NDEBUG
+#define QBS_DCHECK(cond) \
+  do {                   \
+  } while (false)
+#else
+#define QBS_DCHECK(cond) QBS_CHECK(cond)
+#endif
+
+#endif  // QBS_UTIL_CHECK_H_

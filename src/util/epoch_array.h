@@ -1,0 +1,71 @@
+// An array with O(1) logical reset, used for BFS visited/depth state that is
+// re-initialized once per query. Resetting bumps an epoch counter instead of
+// touching every slot, which matters when |V| is large and queries touch only
+// a small neighbourhood.
+
+#ifndef QBS_UTIL_EPOCH_ARRAY_H_
+#define QBS_UTIL_EPOCH_ARRAY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace qbs {
+
+// Maps indices to values of type T with a default value for "unset" slots.
+// Reset() is O(1) amortized (O(n) once every 2^32 resets when epochs wrap).
+template <typename T>
+class EpochArray {
+ public:
+  EpochArray() = default;
+  EpochArray(size_t size, T default_value)
+      : default_(default_value), values_(size, default_value),
+        epochs_(size, 0) {}
+
+  void Resize(size_t size, T default_value) {
+    default_ = default_value;
+    values_.assign(size, default_value);
+    epochs_.assign(size, 0);
+    epoch_ = 1;
+  }
+
+  size_t size() const { return values_.size(); }
+
+  // Invalidates all previously Set() values.
+  void Reset() {
+    ++epoch_;
+    if (epoch_ == 0) {
+      // Epoch counter wrapped: do a real clear so stale stamps cannot alias.
+      std::fill(epochs_.begin(), epochs_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+  void Set(size_t i, T value) {
+    QBS_DCHECK(i < values_.size());
+    values_[i] = value;
+    epochs_[i] = epoch_;
+  }
+
+  T Get(size_t i) const {
+    QBS_DCHECK(i < values_.size());
+    return epochs_[i] == epoch_ ? values_[i] : default_;
+  }
+
+  bool IsSet(size_t i) const {
+    QBS_DCHECK(i < values_.size());
+    return epochs_[i] == epoch_;
+  }
+
+ private:
+  T default_{};
+  uint32_t epoch_ = 1;
+  std::vector<T> values_;
+  std::vector<uint32_t> epochs_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_UTIL_EPOCH_ARRAY_H_

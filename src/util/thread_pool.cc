@@ -1,0 +1,104 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+
+#include "util/check.h"
+
+namespace qbs {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    QBS_CHECK(!shutdown_);
+    tasks_.push(std::move(task));
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_available_.wait(lock,
+                           [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        // shutdown_ must be true here.
+        return;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++active_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --active_;
+      if (tasks_.empty() && active_ == 0) {
+        all_idle_.notify_all();
+      }
+    }
+  }
+}
+
+size_t EffectiveThreads(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  return num_threads;
+}
+
+void ParallelFor(size_t count, size_t num_threads,
+                 const std::function<void(size_t index, size_t worker)>& fn) {
+  if (count == 0) return;
+  num_threads = EffectiveThreads(num_threads);
+  if (num_threads > count) num_threads = count;
+  if (num_threads == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i, 0);
+    return;
+  }
+
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (size_t w = 0; w < num_threads; ++w) {
+    threads.emplace_back([&, w] {
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        fn(i, w);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace qbs

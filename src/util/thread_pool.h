@@ -1,0 +1,67 @@
+// A small fixed-size thread pool plus a ParallelFor convenience wrapper.
+//
+// QbS labelling construction (Algorithm 2) is embarrassingly parallel across
+// landmarks (Lemma 5.2: the labelling scheme is deterministic w.r.t. the
+// landmark set), so a simple static work distribution suffices.
+
+#ifndef QBS_UTIL_THREAD_POOL_H_
+#define QBS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace qbs {
+
+// Fixed-size pool of worker threads consuming a FIFO task queue.
+class ThreadPool {
+ public:
+  // Creates a pool with `num_threads` workers; 0 means
+  // std::thread::hardware_concurrency().
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Blocks until all scheduled tasks finish.
+  ~ThreadPool();
+
+  // Schedules `task` for execution on some worker.
+  void Schedule(std::function<void()> task);
+
+  // Blocks until the task queue is empty and all workers are idle.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_idle_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+// Runs fn(i, worker_index) for every i in [0, count), distributed over
+// `num_threads` threads (0 = hardware concurrency, 1 = inline on the calling
+// thread). `worker_index` is in [0, effective_threads) and lets callers keep
+// per-worker scratch state (e.g. a reusable BFS depth array).
+//
+// Blocks until all iterations complete.
+void ParallelFor(size_t count, size_t num_threads,
+                 const std::function<void(size_t index, size_t worker)>& fn);
+
+// Effective number of threads ParallelFor would use for the given request.
+size_t EffectiveThreads(size_t num_threads);
+
+}  // namespace qbs
+
+#endif  // QBS_UTIL_THREAD_POOL_H_

@@ -1,0 +1,39 @@
+// Wall-clock timer used by the benchmark harness and index build statistics.
+
+#ifndef QBS_UTIL_TIMER_H_
+#define QBS_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace qbs {
+
+// Measures elapsed wall-clock time. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  // Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  // Elapsed time since construction or the last Reset().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_UTIL_TIMER_H_

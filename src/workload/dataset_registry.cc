@@ -1,0 +1,145 @@
+#include "workload/dataset_registry.h"
+
+#include <cmath>
+
+#include "gen/generators.h"
+#include "graph/components.h"
+#include "util/check.h"
+
+namespace qbs {
+namespace {
+
+// GCC 12 at -O2 reports a spurious -Wmaybe-uninitialized inside
+// std::string's copy when the spec structs below are pushed into the
+// registry vector (a known false positive with inlined SSO strings).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+std::vector<DatasetSpec> BuildRegistry() {
+  std::vector<DatasetSpec> specs;
+  auto ba = [&](const char* name, const char* ab, const char* type,
+                uint32_t n, uint32_t m, double pv, double pe, double pdeg,
+                double pdist) {
+    DatasetSpec s;
+    s.name = name;
+    s.abbrev = ab;
+    s.network_type = type;
+    s.kind = GeneratorKind::kBarabasiAlbert;
+    s.n = n;
+    s.param = m;
+    s.paper_vertices_m = pv;
+    s.paper_edges_m = pe;
+    s.paper_avg_deg = pdeg;
+    s.paper_avg_dist = pdist;
+    specs.push_back(s);
+  };
+  auto rmat = [&](const char* name, const char* ab, const char* type,
+                  uint32_t scale, uint32_t ef, double a, double pv, double pe,
+                  double pdeg, double pdist) {
+    DatasetSpec s;
+    s.name = name;
+    s.abbrev = ab;
+    s.network_type = type;
+    s.kind = GeneratorKind::kRMat;
+    s.rmat_scale = scale;
+    s.param = ef;
+    s.rmat_a = a;
+    s.rmat_b = (1.0 - a) / 3.0;
+    s.rmat_c = (1.0 - a) / 3.0;
+    s.paper_vertices_m = pv;
+    s.paper_edges_m = pe;
+    s.paper_avg_deg = pdeg;
+    s.paper_avg_dist = pdist;
+    specs.push_back(s);
+  };
+  auto ws = [&](const char* name, const char* ab, const char* type,
+                uint32_t n, uint32_t k, double beta, double pv, double pe,
+                double pdeg, double pdist) {
+    DatasetSpec s;
+    s.name = name;
+    s.abbrev = ab;
+    s.network_type = type;
+    s.kind = GeneratorKind::kWattsStrogatz;
+    s.n = n;
+    s.param = k;
+    s.beta = beta;
+    s.paper_vertices_m = pv;
+    s.paper_edges_m = pe;
+    s.paper_avg_deg = pdeg;
+    s.paper_avg_dist = pdist;
+    specs.push_back(s);
+  };
+
+  // Ordered and parameterized after Table 1. Scale is roughly 1/25th to
+  // 1/13000th of the real vertex counts; average degree and skew regime are
+  // matched to the real network.
+  ba("Douban", "DO", "social", 8000, 2, 0.2, 0.3, 4.2, 5.2);
+  ba("DBLP", "DB", "co-authorship", 10000, 3, 0.3, 1.1, 6.6, 6.8);
+  rmat("Youtube", "YT", "social", 14, 3, 0.57, 1.1, 3.0, 5.27, 5.3);
+  rmat("WikiTalk", "WK", "communication", 14, 2, 0.62, 2.4, 5.0, 3.89, 3.9);
+  ba("Skitter", "SK", "computer", 12000, 6, 1.7, 11.1, 13.08, 5.1);
+  rmat("Baidu", "BA", "web", 14, 8, 0.60, 2.1, 17.8, 15.89, 4.1);
+  ba("LiveJournal", "LJ", "social", 16000, 9, 4.8, 68.5, 17.79, 5.5);
+  ba("Orkut", "OR", "social", 12000, 38, 3.1, 117.0, 76.28, 4.2);
+  rmat("Twitter", "TW", "social", 15, 29, 0.60, 41.7, 1500.0, 57.74, 3.6);
+  ws("Friendster", "FR", "social", 32768, 56, 0.3, 65.6, 1800.0, 55.06, 4.8);
+  rmat("uk2007", "UK", "web", 15, 31, 0.60, 106.0, 3700.0, 62.77, 5.6);
+  rmat("ClueWeb09", "CW", "computer", 17, 5, 0.62, 1700.0, 7800.0, 9.27,
+       7.5);
+  return specs;
+}
+
+#pragma GCC diagnostic pop
+
+}  // namespace
+
+const std::vector<DatasetSpec>& PaperDatasets() {
+  static const std::vector<DatasetSpec>* const kRegistry =
+      new std::vector<DatasetSpec>(BuildRegistry());
+  return *kRegistry;
+}
+
+const DatasetSpec& DatasetByAbbrev(const std::string& abbrev) {
+  for (const DatasetSpec& s : PaperDatasets()) {
+    if (s.abbrev == abbrev) return s;
+  }
+  QBS_CHECK(false && "unknown dataset abbreviation");
+  __builtin_unreachable();
+}
+
+Graph MakeDataset(const DatasetSpec& spec, double scale) {
+  QBS_CHECK_GT(scale, 0.0);
+  // Seed derived from the abbreviation so datasets differ but runs are
+  // reproducible.
+  uint64_t seed = 0x9bL;
+  for (char c : spec.abbrev) seed = seed * 131 + static_cast<uint64_t>(c);
+
+  Graph g;
+  switch (spec.kind) {
+    case GeneratorKind::kBarabasiAlbert:
+      g = BarabasiAlbert(
+          static_cast<VertexId>(std::lround(spec.n * scale)), spec.param,
+          seed);
+      break;
+    case GeneratorKind::kErdosRenyi: {
+      const auto n = static_cast<VertexId>(std::lround(spec.n * scale));
+      g = ErdosRenyi(n, static_cast<uint64_t>(spec.param) * n, seed);
+      break;
+    }
+    case GeneratorKind::kWattsStrogatz:
+      g = WattsStrogatz(
+          static_cast<VertexId>(std::lround(spec.n * scale)), spec.param,
+          spec.beta, seed);
+      break;
+    case GeneratorKind::kRMat: {
+      const int extra = static_cast<int>(std::lround(std::log2(scale)));
+      const auto s = static_cast<uint32_t>(
+          std::max(4, static_cast<int>(spec.rmat_scale) + extra));
+      g = RMat(s, spec.param, spec.rmat_a, spec.rmat_b, spec.rmat_c, seed);
+      break;
+    }
+  }
+  return LargestComponent(g).graph;
+}
+
+}  // namespace qbs

@@ -1,0 +1,69 @@
+// The dataset registry: scaled-down synthetic stand-ins for the 12
+// real-world networks of Table 1.
+//
+// The evaluation environment is offline, so the SNAP/KONECT/LAW/Lemur
+// downloads are unavailable. Each stand-in reproduces the structural regime
+// the QbS results depend on — degree skew (hub-dominated vs. even), density,
+// and small diameter — using the matching generator:
+//   * Barabási–Albert for social / co-authorship / topology networks with
+//     moderate hubs (Douban, DBLP, Skitter, LiveJournal, Orkut);
+//   * R-MAT for web/communication graphs with extreme hubs (Youtube,
+//     WikiTalk, Baidu, Twitter, uk2007, ClueWeb09);
+//   * Watts–Strogatz for Friendster, whose degrees are evenly distributed
+//     (the regime where the paper observes near-zero "case (i)" coverage).
+//
+// Real edge-list files drop in unchanged through ReadEdgeList(); the
+// registry only substitutes data, not code paths.
+
+#ifndef QBS_WORKLOAD_DATASET_REGISTRY_H_
+#define QBS_WORKLOAD_DATASET_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace qbs {
+
+enum class GeneratorKind {
+  kBarabasiAlbert,
+  kErdosRenyi,
+  kWattsStrogatz,
+  kRMat,
+};
+
+struct DatasetSpec {
+  std::string name;     // paper dataset this stands in for
+  std::string abbrev;   // Table 1 abbreviation (DO, DB, ..., CW)
+  std::string network_type;
+  GeneratorKind kind = GeneratorKind::kBarabasiAlbert;
+
+  // Generator parameters at scale 1.0.
+  uint32_t n = 0;        // vertices (BA/ER/WS) — RMat uses rmat_scale
+  uint32_t param = 0;    // BA: m; WS: k; ER/RMat: edge factor
+  double beta = 0.0;     // WS rewiring probability
+  uint32_t rmat_scale = 0;
+  double rmat_a = 0.57, rmat_b = 0.19, rmat_c = 0.19;
+
+  // Table 1 reference values (the real dataset), for side-by-side output.
+  double paper_vertices_m = 0.0;  // millions
+  double paper_edges_m = 0.0;     // millions
+  double paper_avg_deg = 0.0;
+  double paper_avg_dist = 0.0;
+};
+
+// All 12 stand-ins, ordered as Table 1.
+const std::vector<DatasetSpec>& PaperDatasets();
+
+// Look up a spec by abbreviation (e.g. "DO"); aborts if unknown.
+const DatasetSpec& DatasetByAbbrev(const std::string& abbrev);
+
+// Generates the dataset at the given scale factor (vertex count multiplier;
+// R-MAT rounds to the nearest power of two) and reduces it to its largest
+// connected component, as is standard for the real datasets. Deterministic.
+Graph MakeDataset(const DatasetSpec& spec, double scale = 1.0);
+
+}  // namespace qbs
+
+#endif  // QBS_WORKLOAD_DATASET_REGISTRY_H_

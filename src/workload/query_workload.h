@@ -1,0 +1,47 @@
+// Query workload sampling and distance-distribution analysis (§6.1
+// "Queries", Fig. 7): the paper evaluates on 10,000 uniformly sampled
+// vertex pairs per dataset.
+
+#ifndef QBS_WORKLOAD_QUERY_WORKLOAD_H_
+#define QBS_WORKLOAD_QUERY_WORKLOAD_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace qbs {
+
+struct QueryPair {
+  VertexId u = 0;
+  VertexId v = 0;
+};
+
+// Samples `count` uniform random vertex pairs with u != v. Deterministic in
+// `seed`.
+std::vector<QueryPair> SampleQueryPairs(const Graph& g, size_t count,
+                                        uint64_t seed);
+
+struct DistanceDistribution {
+  // counts[d] = number of pairs at distance d.
+  std::vector<uint64_t> counts;
+  uint64_t disconnected = 0;
+  uint64_t total = 0;
+
+  double FractionAt(uint32_t d) const {
+    return total == 0 || d >= counts.size()
+               ? 0.0
+               : static_cast<double>(counts[d]) / static_cast<double>(total);
+  }
+  // Mean over connected pairs (Table 1's "avg. dist" column).
+  double Mean() const;
+};
+
+// Distances of the given pairs via bidirectional BFS.
+DistanceDistribution ComputeDistanceDistribution(
+    const Graph& g, std::span<const QueryPair> pairs);
+
+}  // namespace qbs
+
+#endif  // QBS_WORKLOAD_QUERY_WORKLOAD_H_

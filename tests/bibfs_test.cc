@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "baselines/bfs_oracle.h"
+#include "baselines/bibfs.h"
+#include "gen/generators.h"
+#include "graph/components.h"
+#include "tests/test_util.h"
+#include "workload/query_workload.h"
+
+namespace qbs {
+namespace {
+
+TEST(BiBfsTest, Figure3QueryAnswer) {
+  Graph g = testing::Figure3Graph();
+  BiBfs bibfs(g);
+  const auto spg = bibfs.Query(2, 6);
+  EXPECT_EQ(spg, SpgByDoubleBfs(g, 2, 6));
+}
+
+TEST(BiBfsTest, TrivialAndDisconnected) {
+  Graph g = Graph::FromEdges(5, {{0, 1}, {1, 2}, {3, 4}});
+  BiBfs bibfs(g);
+  EXPECT_EQ(bibfs.Query(1, 1).distance, 0u);
+  EXPECT_FALSE(bibfs.Query(0, 4).Connected());
+  EXPECT_EQ(bibfs.Query(0, 2).distance, 2u);
+}
+
+TEST(BiBfsTest, ReusedAcrossQueries) {
+  Graph g = CycleGraph(12);
+  BiBfs bibfs(g);
+  for (VertexId v = 1; v < 12; ++v) {
+    EXPECT_EQ(bibfs.Query(0, v), SpgByDoubleBfs(g, 0, v)) << "v=" << v;
+  }
+}
+
+TEST(BiBfsTest, ScansFewerEdgesThanTwoFullBfs) {
+  Graph g = BarabasiAlbert(3000, 3, 31);
+  BiBfs bibfs(g);
+  uint64_t scanned = 0;
+  bibfs.Query(100, 2000, &scanned);
+  // Must touch something, and far less than two full sweeps.
+  EXPECT_GT(scanned, 0u);
+  EXPECT_LT(scanned, 4 * g.NumEdges());
+}
+
+struct SweepParam {
+  int family;
+  uint64_t seed;
+  uint32_t pairs;
+};
+
+class BiBfsOracleSweep : public ::testing::TestWithParam<SweepParam> {};
+
+// Property: Bi-BFS equals the double-BFS oracle on every sampled pair of
+// several graph families.
+TEST_P(BiBfsOracleSweep, MatchesOracle) {
+  const auto& p = GetParam();
+  Graph g;
+  switch (p.family) {
+    case 0:
+      g = BarabasiAlbert(400, 2, p.seed);
+      break;
+    case 1:
+      g = LargestComponent(ErdosRenyi(400, 700, p.seed)).graph;
+      break;
+    case 2:
+      g = WattsStrogatz(400, 6, 0.15, p.seed);
+      break;
+    case 3:
+      g = LargestComponent(RMat(9, 3, 0.57, 0.19, 0.19, p.seed)).graph;
+      break;
+    default:
+      g = GridGraph(18, 20);
+      break;
+  }
+  BiBfs bibfs(g);
+  const auto pairs = SampleQueryPairs(g, p.pairs, p.seed + 99);
+  for (const auto& [u, v] : pairs) {
+    const auto got = bibfs.Query(u, v);
+    const auto want = SpgByDoubleBfs(g, u, v);
+    ASSERT_EQ(got, want) << "u=" << u << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, BiBfsOracleSweep,
+    ::testing::Values(SweepParam{0, 1, 40}, SweepParam{0, 2, 40},
+                      SweepParam{1, 3, 40}, SweepParam{1, 4, 40},
+                      SweepParam{2, 5, 40}, SweepParam{2, 6, 40},
+                      SweepParam{3, 7, 40}, SweepParam{3, 8, 40},
+                      SweepParam{4, 9, 40}));
+
+}  // namespace
+}  // namespace qbs

@@ -1,0 +1,155 @@
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/edge_list_io.h"
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+
+namespace qbs {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(GraphTest, BasicConstruction) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(g.NumVertices(), 4u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(GraphTest, RemovesSelfLoopsAndDuplicates) {
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 0}, {0, 1}, {2, 2}, {1, 2}});
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.Degree(2), 1u);
+  EXPECT_FALSE(g.HasEdge(2, 2));
+}
+
+TEST(GraphTest, NeighborsSortedAscending) {
+  Graph g = Graph::FromEdges(5, {{2, 4}, {2, 0}, {2, 3}, {2, 1}});
+  const auto nbrs = g.Neighbors(2);
+  ASSERT_EQ(nbrs.size(), 4u);
+  for (size_t i = 1; i < nbrs.size(); ++i) {
+    EXPECT_LT(nbrs[i - 1], nbrs[i]);
+  }
+}
+
+TEST(GraphTest, IsolatedVertices) {
+  Graph g = Graph::FromEdges(10, {{0, 1}});
+  EXPECT_EQ(g.NumVertices(), 10u);
+  EXPECT_EQ(g.Degree(5), 0u);
+  EXPECT_TRUE(g.Neighbors(5).empty());
+}
+
+TEST(GraphTest, MaxAndAverageDegree) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_EQ(g.MaxDegree(), 3u);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 6.0 / 4.0);
+}
+
+TEST(GraphTest, EdgeListRoundTrip) {
+  const std::vector<Edge> edges{{0, 1}, {0, 2}, {1, 3}};
+  Graph g = Graph::FromEdges(4, edges);
+  EXPECT_EQ(g.EdgeList(), edges);
+}
+
+TEST(GraphTest, SizeBytesGrowsWithEdges) {
+  Graph small = Graph::FromEdges(4, {{0, 1}});
+  Graph large = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  EXPECT_GT(large.SizeBytes(), small.SizeBytes());
+}
+
+TEST(GraphBuilderTest, GrowsVertexSpace) {
+  GraphBuilder b;
+  b.AddEdge(0, 5);
+  b.AddEdge(9, 2);
+  Graph g = b.Build();
+  EXPECT_EQ(g.NumVertices(), 10u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+}
+
+TEST(GraphBuilderTest, PredeclaredVertices) {
+  GraphBuilder b(7);
+  b.AddEdge(0, 1);
+  Graph g = b.Build();
+  EXPECT_EQ(g.NumVertices(), 7u);
+}
+
+TEST(GraphBuilderTest, ToleratesDuplicatesAndLoops) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);
+  b.AddEdge(1, 1);
+  Graph g = b.Build();
+  EXPECT_EQ(g.NumVertices(), 2u);
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+class EdgeListIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/edges.txt";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(EdgeListIoTest, WriteReadRoundTrip) {
+  Graph g = Graph::FromEdges(5, {{0, 1}, {1, 2}, {3, 4}, {0, 4}});
+  ASSERT_TRUE(WriteEdgeList(g, path_));
+  EdgeListReadOptions options;
+  options.relabel = false;  // preserve ids for an exact round trip
+  auto back = ReadEdgeList(path_, options);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->NumVertices(), 5u);
+  EXPECT_EQ(back->EdgeList(), g.EdgeList());
+}
+
+TEST_F(EdgeListIoTest, SkipsCommentsAndRelabels) {
+  std::ofstream out(path_);
+  out << "# SNAP-style comment\n"
+      << "% KONECT-style comment\n"
+      << "1000 2000\n"
+      << "2000 3000\n";
+  out.close();
+  auto g = ReadEdgeList(path_);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->NumVertices(), 3u);  // relabelled densely
+  EXPECT_EQ(g->NumEdges(), 2u);
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_TRUE(g->HasEdge(1, 2));
+}
+
+TEST_F(EdgeListIoTest, DirectedInputBecomesUndirected) {
+  std::ofstream out(path_);
+  out << "0 1\n1 0\n";
+  out.close();
+  EdgeListReadOptions options;
+  options.relabel = false;
+  auto g = ReadEdgeList(path_, options);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->NumEdges(), 1u);
+}
+
+TEST_F(EdgeListIoTest, MissingFileFails) {
+  EXPECT_FALSE(ReadEdgeList("/nonexistent/file.txt").has_value());
+}
+
+TEST_F(EdgeListIoTest, ParseErrorFails) {
+  std::ofstream out(path_);
+  out << "not numbers\n";
+  out.close();
+  EXPECT_FALSE(ReadEdgeList(path_).has_value());
+}
+
+}  // namespace
+}  // namespace qbs

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "baselines/bfs_oracle.h"
+#include "core/guided_search.h"
+#include "core/labeling.h"
+#include "core/landmark_selection.h"
+#include "gen/generators.h"
+#include "tests/test_util.h"
+
+namespace qbs {
+namespace {
+
+using testing::Figure4Graph;
+using testing::Figure4Landmarks;
+using testing::PaperEdgeSet;
+
+class GuidedSearchFigure4Test : public ::testing::Test {
+ protected:
+  GuidedSearchFigure4Test()
+      : graph_(Figure4Graph()),
+        scheme_(BuildLabelingScheme(graph_, Figure4Landmarks())),
+        searcher_(graph_, scheme_.labeling, scheme_.meta) {}
+
+  Graph graph_;
+  LabelingScheme scheme_;
+  GuidedSearcher searcher_;
+};
+
+// Example 4.8 / Figure 6(f): the full answer of SPG(6, 11).
+TEST_F(GuidedSearchFigure4Test, GoldenAnswerSpg6_11) {
+  SearchStats stats;
+  const auto spg = searcher_.Query(5, 10, &stats);  // paper 6 and 11
+  EXPECT_EQ(spg.distance, 5u);
+  EXPECT_EQ(spg.edges, PaperEdgeSet({// G⁻ path 6-7-8-9-10-11
+                                     {6, 7},
+                                     {7, 8},
+                                     {8, 9},
+                                     {9, 10},
+                                     {10, 11},
+                                     // landmark paths
+                                     {6, 1},
+                                     {1, 2},
+                                     {2, 9},
+                                     {2, 3},
+                                     {3, 12},
+                                     {12, 11},
+                                     {1, 4},
+                                     {4, 3}}));
+  // d_G⁻ = d⊤ = 5: the "some through landmarks" case of Eq. 5.
+  EXPECT_EQ(stats.d_top, 5u);
+  EXPECT_EQ(stats.d_sparsified, 5u);
+  EXPECT_EQ(stats.coverage, PairCoverage::kSomeThroughLandmarks);
+  EXPECT_EQ(spg, SpgByDoubleBfs(graph_, 5, 10));
+}
+
+TEST_F(GuidedSearchFigure4Test, AllPairsMatchOracle) {
+  for (VertexId u = 0; u < graph_.NumVertices(); ++u) {
+    for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
+      ASSERT_EQ(searcher_.Query(u, v), SpgByDoubleBfs(graph_, u, v))
+          << "u=" << u + 1 << " v=" << v + 1 << " (paper ids)";
+    }
+  }
+}
+
+TEST_F(GuidedSearchFigure4Test, LandmarkEndpointQueries) {
+  // Landmark to non-landmark, non-landmark to landmark, landmark pair.
+  EXPECT_EQ(searcher_.Query(0, 10), SpgByDoubleBfs(graph_, 0, 10));
+  EXPECT_EQ(searcher_.Query(7, 2), SpgByDoubleBfs(graph_, 7, 2));
+  EXPECT_EQ(searcher_.Query(0, 2), SpgByDoubleBfs(graph_, 0, 2));
+  EXPECT_EQ(searcher_.Query(0, 1), SpgByDoubleBfs(graph_, 0, 1));
+}
+
+TEST_F(GuidedSearchFigure4Test, SelfQuery) {
+  const auto spg = searcher_.Query(4, 4);
+  EXPECT_EQ(spg.distance, 0u);
+  EXPECT_TRUE(spg.edges.empty());
+}
+
+TEST_F(GuidedSearchFigure4Test, AdjacentNonLandmarks) {
+  const auto spg = searcher_.Query(4, 13);  // paper 5 - 14
+  EXPECT_EQ(spg.distance, 1u);
+  EXPECT_EQ(spg.edges, PaperEdgeSet({{5, 14}}));
+}
+
+TEST_F(GuidedSearchFigure4Test, StatsTrackSparsification) {
+  SearchStats stats;
+  searcher_.Query(5, 10, &stats);
+  EXPECT_GT(stats.edges_scanned_search, 0u);
+  EXPECT_GT(stats.landmark_edges_skipped, 0u);
+  EXPECT_GT(stats.edges_scanned_recover, 0u);
+}
+
+TEST(GuidedSearchTest, DisconnectedPair) {
+  Graph g = Graph::FromEdges(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  const auto scheme = BuildLabelingScheme(g, {1});
+  GuidedSearcher searcher(g, scheme.labeling, scheme.meta);
+  SearchStats stats;
+  const auto spg = searcher.Query(0, 5, &stats);
+  EXPECT_FALSE(spg.Connected());
+  EXPECT_TRUE(spg.edges.empty());
+  EXPECT_EQ(stats.coverage, PairCoverage::kDisconnected);
+}
+
+TEST(GuidedSearchTest, ComponentWithoutLandmarks) {
+  // The pair lives in a component no landmark touches: pure G⁻ search.
+  Graph g = Graph::FromEdges(7, {{0, 1}, {2, 3}, {3, 4}, {4, 5}, {5, 6},
+                                 {2, 6}});
+  const auto scheme = BuildLabelingScheme(g, {0});
+  GuidedSearcher searcher(g, scheme.labeling, scheme.meta);
+  SearchStats stats;
+  const auto spg = searcher.Query(2, 4, &stats);
+  EXPECT_EQ(spg, SpgByDoubleBfs(g, 2, 4));
+  EXPECT_EQ(stats.coverage, PairCoverage::kNoneThroughLandmarks);
+}
+
+TEST(GuidedSearchTest, AllPathsThroughLandmarkHub) {
+  Graph g = StarGraph(12);
+  const auto scheme = BuildLabelingScheme(g, {0});
+  GuidedSearcher searcher(g, scheme.labeling, scheme.meta);
+  SearchStats stats;
+  const auto spg = searcher.Query(3, 9, &stats);
+  EXPECT_EQ(spg, SpgByDoubleBfs(g, 3, 9));
+  EXPECT_EQ(stats.coverage, PairCoverage::kAllThroughLandmarks);
+  // The sparsified star is edgeless: nothing to scan.
+  EXPECT_EQ(stats.d_sparsified, kUnreachable);
+}
+
+TEST(GuidedSearchTest, DeltaCacheGivesSameAnswers) {
+  Graph g = BarabasiAlbert(300, 3, 77);
+  const auto scheme = BuildLabelingScheme(
+      g, SelectLandmarks(g, 8, LandmarkStrategy::kHighestDegree, 0));
+  const DeltaCache delta =
+      DeltaCache::Build(g, scheme.labeling, scheme.meta, 1);
+  GuidedSearcher plain(g, scheme.labeling, scheme.meta);
+  GuidedSearcher cached(g, scheme.labeling, scheme.meta, &delta);
+  uint64_t hits = 0;
+  for (VertexId u = 0; u < 60; u += 3) {
+    for (VertexId v = 100; v < 160; v += 7) {
+      SearchStats stats;
+      ASSERT_EQ(cached.Query(u, v, &stats), plain.Query(u, v));
+      hits += stats.delta_cache_hits;
+    }
+  }
+  EXPECT_GT(hits, 0u);
+}
+
+TEST(GuidedSearchTest, QueryWithPrecomputedSketch) {
+  Graph g = testing::Figure4Graph();
+  const auto scheme = BuildLabelingScheme(g, testing::Figure4Landmarks());
+  GuidedSearcher searcher(g, scheme.labeling, scheme.meta);
+  const Sketch sketch = ComputeSketch(scheme.labeling, scheme.meta, 5, 10);
+  EXPECT_EQ(searcher.QueryWithSketch(5, 10, sketch),
+            SpgByDoubleBfs(g, 5, 10));
+}
+
+TEST(GuidedSearchTest, PathGraphLongDistances) {
+  // High-diameter regime: every label distance large, search bounded.
+  Graph g = PathGraph(200);
+  const auto scheme = BuildLabelingScheme(g, {100});
+  GuidedSearcher searcher(g, scheme.labeling, scheme.meta);
+  EXPECT_EQ(searcher.Query(0, 199), SpgByDoubleBfs(g, 0, 199));
+  EXPECT_EQ(searcher.Query(50, 150), SpgByDoubleBfs(g, 50, 150));
+  EXPECT_EQ(searcher.Query(0, 99), SpgByDoubleBfs(g, 0, 99));
+}
+
+}  // namespace
+}  // namespace qbs

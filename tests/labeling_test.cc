@@ -1,0 +1,233 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/labeling.h"
+#include "core/landmark_selection.h"
+#include "gen/generators.h"
+#include "graph/components.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace qbs {
+namespace {
+
+using testing::Figure4Graph;
+using testing::Figure4Landmarks;
+
+// Expected labels from the paper's Figure 4(c) (paper vertex -> entries).
+struct ExpectedLabel {
+  int vertex;  // paper id
+  std::vector<std::pair<int, int>> entries;  // (paper landmark id, dist)
+};
+
+const ExpectedLabel kFigure4Labels[] = {
+    {4, {{1, 1}, {3, 1}}},
+    {5, {{1, 1}, {3, 3}}},
+    {6, {{1, 1}}},
+    {7, {{1, 2}, {2, 2}}},
+    {8, {{2, 1}}},
+    {9, {{2, 1}}},
+    {10, {{2, 2}, {3, 3}}},
+    {11, {{2, 3}, {3, 2}}},
+    {12, {{3, 1}}},
+    {13, {{1, 3}, {3, 1}}},
+    {14, {{1, 2}, {3, 2}}},
+};
+
+void CheckFigure4Labels(const LabelingScheme& scheme) {
+  const PathLabeling& l = scheme.labeling;
+  for (const auto& expected : kFigure4Labels) {
+    const VertexId v = static_cast<VertexId>(expected.vertex - 1);
+    for (uint32_t i = 0; i < 3; ++i) {
+      DistT want = kInfDist;
+      for (const auto& [lm, d] : expected.entries) {
+        if (lm - 1 == static_cast<int>(i)) want = static_cast<DistT>(d);
+      }
+      EXPECT_EQ(l.Get(v, i), want)
+          << "vertex " << expected.vertex << " landmark " << i + 1;
+    }
+  }
+  // Landmarks carry no labels.
+  for (VertexId lm : Figure4Landmarks()) {
+    for (uint32_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(l.Get(lm, i), kInfDist);
+    }
+  }
+}
+
+TEST(LabelingTest, Figure4GoldenLabels) {
+  const auto scheme = BuildLabelingScheme(Figure4Graph(), Figure4Landmarks());
+  CheckFigure4Labels(scheme);
+}
+
+TEST(LabelingTest, Figure4GoldenMetaGraph) {
+  // Example 4.3/4.4: meta-edges (1,2) weight 1, (2,3) weight 1, and (1,3)
+  // weight 2 (one shortest path 1-4-3 avoiding landmark 2).
+  const auto scheme = BuildLabelingScheme(Figure4Graph(), Figure4Landmarks());
+  EXPECT_EQ(scheme.meta.Edges().size(), 3u);
+  EXPECT_EQ(scheme.meta.EdgeWeight(0, 1), 1u);
+  EXPECT_EQ(scheme.meta.EdgeWeight(1, 2), 1u);
+  EXPECT_EQ(scheme.meta.EdgeWeight(0, 2), 2u);
+}
+
+TEST(LabelingTest, Figure4ParallelMatchesSequential) {
+  LabelingBuildOptions parallel;
+  parallel.num_threads = 4;
+  const auto seq = BuildLabelingScheme(Figure4Graph(), Figure4Landmarks());
+  const auto par =
+      BuildLabelingScheme(Figure4Graph(), Figure4Landmarks(), parallel);
+  CheckFigure4Labels(par);
+  EXPECT_EQ(seq.meta.Edges(), par.meta.Edges());
+  EXPECT_EQ(seq.labeling.NumEntries(), par.labeling.NumEntries());
+}
+
+TEST(LabelingTest, NumEntriesAndSize) {
+  const auto scheme = BuildLabelingScheme(Figure4Graph(), Figure4Landmarks());
+  // Figure 4(c) lists 18 entries over 11 labelled vertices.
+  EXPECT_EQ(scheme.labeling.NumEntries(), 18u);
+  EXPECT_EQ(scheme.labeling.SizeBytes(), 14u * 3u * sizeof(DistT));
+}
+
+TEST(LabelingTest, EmptyLandmarkSet) {
+  const auto scheme = BuildLabelingScheme(Figure4Graph(), {});
+  EXPECT_EQ(scheme.labeling.NumEntries(), 0u);
+  EXPECT_EQ(scheme.meta.num_landmarks(), 0u);
+}
+
+TEST(LabelingTest, SingleLandmarkLabelsWholeComponent) {
+  Graph g = PathGraph(6);
+  const auto scheme = BuildLabelingScheme(g, {0});
+  for (VertexId v = 1; v < 6; ++v) {
+    EXPECT_EQ(scheme.labeling.Get(v, 0), v);
+  }
+  EXPECT_TRUE(scheme.meta.Edges().empty());
+}
+
+TEST(LabelingTest, DisconnectedVertexUnlabeled) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {2, 3}});
+  const auto scheme = BuildLabelingScheme(g, {0});
+  EXPECT_EQ(scheme.labeling.Get(1, 0), 1);
+  EXPECT_EQ(scheme.labeling.Get(2, 0), kInfDist);
+  EXPECT_EQ(scheme.labeling.Get(3, 0), kInfDist);
+}
+
+// Lemma 5.2 (determinism): permuting the landmark order produces the same
+// labelling up to column reindexing, sequentially and in parallel.
+class LabelingDeterminism : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LabelingDeterminism, OrderAndThreadInvariant) {
+  const uint64_t seed = GetParam();
+  Graph g = BarabasiAlbert(300, 3, seed);
+  std::vector<VertexId> landmarks = SelectLandmarks(
+      g, 8, LandmarkStrategy::kHighestDegree, seed);
+  const auto base = BuildLabelingScheme(g, landmarks);
+
+  std::vector<VertexId> shuffled = landmarks;
+  Rng rng(seed * 7 + 1);
+  rng.Shuffle(shuffled);
+  LabelingBuildOptions par;
+  par.num_threads = 0;  // all hardware threads
+  const auto perm = BuildLabelingScheme(g, shuffled, par);
+
+  // Map shuffled column -> base column and compare every entry.
+  std::vector<uint32_t> to_base(landmarks.size());
+  for (uint32_t i = 0; i < shuffled.size(); ++i) {
+    const auto it =
+        std::find(landmarks.begin(), landmarks.end(), shuffled[i]);
+    ASSERT_NE(it, landmarks.end());
+    to_base[i] = static_cast<uint32_t>(it - landmarks.begin());
+  }
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (uint32_t i = 0; i < shuffled.size(); ++i) {
+      ASSERT_EQ(perm.labeling.Get(v, i), base.labeling.Get(v, to_base[i]))
+          << "v=" << v;
+    }
+  }
+  // Meta-graphs agree after rank translation.
+  for (uint32_t i = 0; i < shuffled.size(); ++i) {
+    for (uint32_t j = 0; j < shuffled.size(); ++j) {
+      ASSERT_EQ(perm.meta.EdgeWeight(i, j),
+                base.meta.EdgeWeight(to_base[i], to_base[j]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LabelingDeterminism,
+                         ::testing::Values(1, 2, 3, 4));
+
+// Brute-force conformance with Definition 4.2 / 4.1 across families, seeds
+// and landmark counts.
+struct DefinitionParam {
+  int family;
+  uint64_t seed;
+  uint32_t k;
+};
+
+class LabelingDefinition : public ::testing::TestWithParam<DefinitionParam> {
+};
+
+TEST_P(LabelingDefinition, MatchesBruteForce) {
+  const auto& p = GetParam();
+  Graph g;
+  switch (p.family) {
+    case 0:
+      g = BarabasiAlbert(120, 2, p.seed);
+      break;
+    case 1:
+      g = LargestComponent(ErdosRenyi(120, 220, p.seed)).graph;
+      break;
+    case 2:
+      g = WattsStrogatz(120, 4, 0.2, p.seed);
+      break;
+    default:
+      g = GridGraph(10, 12);
+      break;
+  }
+  const auto landmarks =
+      SelectLandmarks(g, p.k, LandmarkStrategy::kHighestDegree, p.seed);
+  const auto scheme = BuildLabelingScheme(g, landmarks);
+  std::string message;
+  EXPECT_TRUE(testing::VerifyLabelingDefinition(g, scheme, &message))
+      << message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LabelingDefinition,
+    ::testing::Values(DefinitionParam{0, 1, 4}, DefinitionParam{0, 2, 8},
+                      DefinitionParam{1, 3, 4}, DefinitionParam{1, 4, 8},
+                      DefinitionParam{2, 5, 4}, DefinitionParam{2, 6, 8},
+                      DefinitionParam{3, 7, 5},
+                      DefinitionParam{0, 8, 1},
+                      DefinitionParam{1, 9, 16}));
+
+TEST(LandmarkSelectionTest, HighestDegreeOrder) {
+  Graph g = StarGraph(10);
+  const auto landmarks =
+      SelectLandmarks(g, 3, LandmarkStrategy::kHighestDegree, 0);
+  ASSERT_EQ(landmarks.size(), 3u);
+  EXPECT_EQ(landmarks[0], 0u);  // the hub
+  // Remaining ties broken by ascending id.
+  EXPECT_EQ(landmarks[1], 1u);
+  EXPECT_EQ(landmarks[2], 2u);
+}
+
+TEST(LandmarkSelectionTest, RandomDistinctAndSeeded) {
+  Graph g = CycleGraph(50);
+  const auto a = SelectLandmarks(g, 10, LandmarkStrategy::kRandom, 5);
+  const auto b = SelectLandmarks(g, 10, LandmarkStrategy::kRandom, 5);
+  EXPECT_EQ(a, b);
+  auto sorted = a;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(LandmarkSelectionTest, CountClampedToVertices) {
+  Graph g = PathGraph(5);
+  EXPECT_EQ(
+      SelectLandmarks(g, 100, LandmarkStrategy::kHighestDegree, 0).size(),
+      5u);
+}
+
+}  // namespace
+}  // namespace qbs

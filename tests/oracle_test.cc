@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "baselines/bfs_oracle.h"
+#include "gen/generators.h"
+#include "graph/bfs.h"
+#include "tests/test_util.h"
+
+namespace qbs {
+namespace {
+
+using testing::Figure3Graph;
+using testing::PaperEdgeSet;
+
+TEST(OracleTest, Figure3QueryAnswer) {
+  // Example 3.1 / Figure 3(a): SPG(3, 7) consists of the two paths
+  // 3-1-2-5-7 and 3-4-2-5-7.
+  Graph g = Figure3Graph();
+  const auto spg = SpgByDoubleBfs(g, 2, 6);  // paper vertices 3 and 7
+  EXPECT_EQ(spg.distance, 4u);
+  EXPECT_EQ(spg.edges, PaperEdgeSet({{3, 1},
+                                     {1, 2},
+                                     {3, 4},
+                                     {4, 2},
+                                     {2, 5},
+                                     {5, 7}}));
+  EXPECT_EQ(spg.CountShortestPaths(), 2u);
+}
+
+TEST(OracleTest, AdjacentVertices) {
+  Graph g = Figure3Graph();
+  const auto spg = SpgByDoubleBfs(g, 0, 1);
+  EXPECT_EQ(spg.distance, 1u);
+  EXPECT_EQ(spg.edges, PaperEdgeSet({{1, 2}}));
+}
+
+TEST(OracleTest, EveryEdgeOnSomeShortestPath) {
+  // Structural invariant: for each returned edge (x, y), it must hold that
+  // d(u,x) + 1 + d(y,v) == d(u,v) in some orientation.
+  Graph g = BarabasiAlbert(200, 2, 17);
+  const auto du = BfsDistances(g, 5);
+  const auto dv = BfsDistances(g, 140);
+  const auto spg = SpgFromDistances(g, 5, 140, du, dv);
+  ASSERT_TRUE(spg.Connected());
+  for (const Edge& e : spg.edges) {
+    const bool fwd = du[e.u] + 1 + dv[e.v] == spg.distance;
+    const bool bwd = du[e.v] + 1 + dv[e.u] == spg.distance;
+    EXPECT_TRUE(fwd || bwd);
+  }
+}
+
+TEST(OracleTest, SpgRealizesDistanceInternally) {
+  // The SPG itself must contain a u-v path of exactly d(u, v) edges:
+  // CountShortestPaths() validates levels internally and returns >= 1.
+  Graph g = WattsStrogatz(300, 4, 0.2, 23);
+  const auto spg = SpgByDoubleBfs(g, 0, 150);
+  ASSERT_TRUE(spg.Connected());
+  EXPECT_GE(spg.CountShortestPaths(), 1u);
+}
+
+TEST(OracleTest, SymmetricInEndpoints) {
+  Graph g = BarabasiAlbert(150, 3, 29);
+  const auto a = SpgByDoubleBfs(g, 10, 90);
+  const auto b = SpgByDoubleBfs(g, 90, 10);
+  EXPECT_EQ(a.distance, b.distance);
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST(OracleTest, CompleteGraphSpgIsSingleEdge) {
+  Graph g = CompleteGraph(10);
+  const auto spg = SpgByDoubleBfs(g, 2, 7);
+  EXPECT_EQ(spg.distance, 1u);
+  EXPECT_EQ(spg.edges.size(), 1u);
+}
+
+TEST(OracleTest, StarGraphThroughHub) {
+  Graph g = StarGraph(8);
+  const auto spg = SpgByDoubleBfs(g, 3, 6);
+  EXPECT_EQ(spg.distance, 2u);
+  EXPECT_EQ(spg.edges, (std::vector<Edge>{{0, 3}, {0, 6}}));
+  EXPECT_EQ(spg.CriticalVertices(), std::vector<VertexId>{0});
+}
+
+}  // namespace
+}  // namespace qbs

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "baselines/bfs_oracle.h"
+#include "core/qbs_index.h"
+#include "gen/generators.h"
+#include "graph/bfs.h"
+#include "graph/components.h"
+#include "tests/test_util.h"
+#include "workload/query_workload.h"
+
+namespace qbs {
+namespace {
+
+TEST(QbsIndexTest, BuildAndQuerySmoke) {
+  Graph g = BarabasiAlbert(500, 3, 1);
+  QbsOptions options;
+  options.num_landmarks = 10;
+  QbsIndex index = QbsIndex::Build(g, options);
+  EXPECT_EQ(index.landmarks().size(), 10u);
+  EXPECT_GT(index.LabelingSizeBytes(), 0u);
+  EXPECT_GT(index.DeltaSizeBytes(), 0u);  // Δ precomputed by default
+
+  QbsOptions no_delta = options;
+  no_delta.precompute_delta = false;
+  QbsIndex lean = QbsIndex::Build(g, no_delta);
+  EXPECT_EQ(lean.DeltaSizeBytes(), 0u);
+  EXPECT_EQ(lean.Query(50, 400), index.Query(50, 400));
+  const auto spg = index.Query(50, 400);
+  EXPECT_EQ(spg, SpgByDoubleBfs(g, 50, 400));
+}
+
+TEST(QbsIndexTest, MoveSemanticsKeepSearcherValid) {
+  Graph g = BarabasiAlbert(200, 2, 2);
+  QbsOptions options;
+  options.num_landmarks = 5;
+  QbsIndex index = QbsIndex::Build(g, options);
+  QbsIndex moved = std::move(index);
+  EXPECT_EQ(moved.Query(10, 100), SpgByDoubleBfs(g, 10, 100));
+}
+
+TEST(QbsIndexTest, DistanceUpperBoundIsUpperBound) {
+  Graph g = BarabasiAlbert(300, 2, 3);
+  QbsOptions options;
+  options.num_landmarks = 8;
+  QbsIndex index = QbsIndex::Build(g, options);
+  const auto pairs = SampleQueryPairs(g, 100, 17);
+  for (const auto& [u, v] : pairs) {
+    const uint32_t bound = index.DistanceUpperBound(u, v);
+    EXPECT_GE(bound, BiBfsDistance(g, u, v));
+  }
+  EXPECT_EQ(index.DistanceUpperBound(7, 7), 0u);
+}
+
+TEST(QbsIndexTest, LandmarksClampedToGraph) {
+  Graph g = PathGraph(5);
+  QbsOptions options;
+  options.num_landmarks = 50;
+  QbsIndex index = QbsIndex::Build(g, options);
+  EXPECT_EQ(index.landmarks().size(), 5u);
+  // Every vertex is a landmark: queries are pure recover searches.
+  EXPECT_EQ(index.Query(0, 4), SpgByDoubleBfs(g, 0, 4));
+}
+
+TEST(QbsIndexTest, ZeroLandmarksDegeneratesToBiBfs) {
+  Graph g = BarabasiAlbert(200, 2, 4);
+  QbsOptions options;
+  options.num_landmarks = 0;
+  QbsIndex index = QbsIndex::Build(g, options);
+  EXPECT_EQ(index.Query(3, 150), SpgByDoubleBfs(g, 3, 150));
+  EXPECT_EQ(index.DistanceUpperBound(3, 150), kUnreachable);
+}
+
+TEST(QbsIndexTest, TimingsPopulated) {
+  Graph g = BarabasiAlbert(300, 3, 5);
+  QbsOptions options;
+  options.num_landmarks = 8;
+  options.precompute_delta = true;
+  QbsIndex index = QbsIndex::Build(g, options);
+  EXPECT_GT(index.timings().labeling_seconds, 0.0);
+  EXPECT_GE(index.timings().delta_seconds, 0.0);
+  EXPECT_GT(index.DeltaSizeBytes(), 0u);
+}
+
+TEST(QbsIndexTest, BuildWithExplicitLandmarks) {
+  Graph g = testing::Figure4Graph();
+  QbsIndex index =
+      QbsIndex::BuildWithLandmarks(g, testing::Figure4Landmarks());
+  EXPECT_EQ(index.landmarks(), testing::Figure4Landmarks());
+  EXPECT_EQ(index.Query(5, 10), SpgByDoubleBfs(g, 5, 10));
+}
+
+// The central correctness property: QbS answers == oracle answers on every
+// sampled pair, across graph families, landmark counts, strategies, thread
+// counts, and the delta-cache toggle.
+struct SweepParam {
+  int family;
+  uint64_t seed;
+  uint32_t num_landmarks;
+  LandmarkStrategy strategy;
+  size_t threads;
+  bool delta;
+};
+
+class QbsOracleSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(QbsOracleSweep, MatchesOracleEverywhere) {
+  const auto& p = GetParam();
+  Graph g;
+  switch (p.family) {
+    case 0:
+      g = BarabasiAlbert(350, 2, p.seed);
+      break;
+    case 1:
+      g = LargestComponent(ErdosRenyi(350, 600, p.seed)).graph;
+      break;
+    case 2:
+      g = WattsStrogatz(350, 6, 0.2, p.seed);
+      break;
+    case 3:
+      g = LargestComponent(RMat(9, 4, 0.57, 0.19, 0.19, p.seed)).graph;
+      break;
+    case 4:
+      g = GridGraph(15, 20);
+      break;
+    default:
+      g = CompleteBinaryTree(255);
+      break;
+  }
+  QbsOptions options;
+  options.num_landmarks = p.num_landmarks;
+  options.landmark_strategy = p.strategy;
+  options.num_threads = p.threads;
+  options.precompute_delta = p.delta;
+  options.seed = p.seed;
+  QbsIndex index = QbsIndex::Build(g, options);
+
+  const auto pairs = SampleQueryPairs(g, 60, p.seed + 1000);
+  for (const auto& [u, v] : pairs) {
+    ASSERT_EQ(index.Query(u, v), SpgByDoubleBfs(g, u, v))
+        << "family=" << p.family << " u=" << u << " v=" << v;
+  }
+  // Landmark endpoints are valid queries too.
+  for (VertexId r : index.landmarks()) {
+    ASSERT_EQ(index.Query(r, pairs[0].v), SpgByDoubleBfs(g, r, pairs[0].v));
+  }
+  if (index.landmarks().size() >= 2) {
+    const VertexId a = index.landmarks()[0];
+    const VertexId b = index.landmarks()[1];
+    ASSERT_EQ(index.Query(a, b), SpgByDoubleBfs(g, a, b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QbsOracleSweep,
+    ::testing::Values(
+        SweepParam{0, 1, 8, LandmarkStrategy::kHighestDegree, 1, false},
+        SweepParam{0, 2, 8, LandmarkStrategy::kHighestDegree, 4, true},
+        SweepParam{0, 3, 20, LandmarkStrategy::kRandom, 1, false},
+        SweepParam{1, 4, 8, LandmarkStrategy::kHighestDegree, 1, false},
+        SweepParam{1, 5, 20, LandmarkStrategy::kHighestDegree, 4, true},
+        SweepParam{2, 6, 8, LandmarkStrategy::kHighestDegree, 1, false},
+        SweepParam{2, 7, 8, LandmarkStrategy::kRandom, 1, true},
+        SweepParam{3, 8, 8, LandmarkStrategy::kHighestDegree, 1, false},
+        SweepParam{3, 9, 20, LandmarkStrategy::kHighestDegree, 4, false},
+        SweepParam{4, 10, 8, LandmarkStrategy::kHighestDegree, 1, false},
+        SweepParam{4, 11, 8, LandmarkStrategy::kRandom, 1, true},
+        SweepParam{5, 12, 8, LandmarkStrategy::kHighestDegree, 1, false},
+        SweepParam{5, 13, 1, LandmarkStrategy::kHighestDegree, 1, false},
+        SweepParam{0, 14, 2, LandmarkStrategy::kHighestDegree, 1, false},
+        SweepParam{2, 15, 50, LandmarkStrategy::kHighestDegree, 4, true}));
+
+// Pair coverage classification agrees with a brute-force landmark check.
+TEST(QbsIndexTest, CoverageClassificationMatchesBruteForce) {
+  Graph g = BarabasiAlbert(250, 2, 21);
+  QbsOptions options;
+  options.num_landmarks = 6;
+  QbsIndex index = QbsIndex::Build(g, options);
+  std::vector<bool> is_landmark(g.NumVertices(), false);
+  for (VertexId r : index.landmarks()) is_landmark[r] = true;
+
+  const auto pairs = SampleQueryPairs(g, 80, 22);
+  for (const auto& [u, v] : pairs) {
+    if (is_landmark[u] || is_landmark[v]) continue;
+    SearchStats stats;
+    const auto spg = index.Query(u, v, &stats);
+    ASSERT_TRUE(spg.Connected());
+    // Brute force: does some / every shortest path pass a landmark?
+    const auto du = BfsDistances(g, u);
+    const auto dv = BfsDistances(g, v);
+    bool some = false;
+    for (VertexId r : index.landmarks()) {
+      if (du[r] + dv[r] == spg.distance) some = true;
+    }
+    // "all" iff removing landmarks stretches the distance.
+    std::vector<bool> removed(g.NumVertices(), false);
+    for (VertexId r : index.landmarks()) removed[r] = true;
+    const uint32_t masked = testing::MaskedDistance(g, u, v, removed);
+    const bool all = masked != spg.distance;  // includes kUnreachable
+    switch (stats.coverage) {
+      case PairCoverage::kAllThroughLandmarks:
+        EXPECT_TRUE(some && all);
+        break;
+      case PairCoverage::kSomeThroughLandmarks:
+        EXPECT_TRUE(some && !all);
+        break;
+      case PairCoverage::kNoneThroughLandmarks:
+        EXPECT_FALSE(some);
+        break;
+      case PairCoverage::kDisconnected:
+        FAIL();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qbs

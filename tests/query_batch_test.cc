@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "baselines/bfs_oracle.h"
+#include "core/qbs_index.h"
+#include "gen/generators.h"
+#include "workload/query_workload.h"
+
+namespace qbs {
+namespace {
+
+std::vector<std::pair<VertexId, VertexId>> ToPairs(
+    const std::vector<QueryPair>& pairs) {
+  std::vector<std::pair<VertexId, VertexId>> out;
+  out.reserve(pairs.size());
+  for (const auto& p : pairs) out.emplace_back(p.u, p.v);
+  return out;
+}
+
+TEST(QueryBatchTest, MatchesSequentialQueries) {
+  Graph g = BarabasiAlbert(800, 3, 3);
+  QbsOptions options;
+  options.num_landmarks = 12;
+  QbsIndex index = QbsIndex::Build(g, options);
+  const auto pairs = ToPairs(SampleQueryPairs(g, 300, 5));
+  const auto batch = index.QueryBatch(pairs, 8);
+  ASSERT_EQ(batch.size(), pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    ASSERT_EQ(batch[i], index.Query(pairs[i].first, pairs[i].second))
+        << "i=" << i;
+  }
+}
+
+TEST(QueryBatchTest, MatchesOracle) {
+  Graph g = WattsStrogatz(500, 6, 0.2, 4);
+  QbsOptions options;
+  options.num_landmarks = 10;
+  QbsIndex index = QbsIndex::Build(g, options);
+  const auto pairs = ToPairs(SampleQueryPairs(g, 100, 6));
+  const auto batch = index.QueryBatch(pairs, 0);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    ASSERT_EQ(batch[i], SpgByDoubleBfs(g, pairs[i].first, pairs[i].second));
+  }
+}
+
+TEST(QueryBatchTest, ThreadCountInvariant) {
+  Graph g = BarabasiAlbert(400, 2, 7);
+  QbsOptions options;
+  options.num_landmarks = 8;
+  QbsIndex index = QbsIndex::Build(g, options);
+  const auto pairs = ToPairs(SampleQueryPairs(g, 150, 8));
+  const auto one = index.QueryBatch(pairs, 1);
+  const auto many = index.QueryBatch(pairs, 6);
+  EXPECT_EQ(one, many);
+}
+
+TEST(QueryBatchTest, EmptyAndSingleton) {
+  Graph g = PathGraph(10);
+  QbsOptions options;
+  options.num_landmarks = 2;
+  QbsIndex index = QbsIndex::Build(g, options);
+  EXPECT_TRUE(index.QueryBatch({}, 4).empty());
+  const auto single = index.QueryBatch({{0, 9}}, 4);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0], SpgByDoubleBfs(g, 0, 9));
+}
+
+TEST(QueryBatchTest, DuplicateAndSelfPairs) {
+  Graph g = CycleGraph(20);
+  QbsOptions options;
+  options.num_landmarks = 3;
+  QbsIndex index = QbsIndex::Build(g, options);
+  const std::vector<std::pair<VertexId, VertexId>> pairs{
+      {0, 10}, {0, 10}, {5, 5}, {10, 0}};
+  const auto batch = index.QueryBatch(pairs, 2);
+  EXPECT_EQ(batch[0], batch[1]);
+  EXPECT_EQ(batch[2].distance, 0u);
+  EXPECT_EQ(batch[3].distance, batch[0].distance);
+}
+
+}  // namespace
+}  // namespace qbs

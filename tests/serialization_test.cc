@@ -1,0 +1,101 @@
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "baselines/bfs_oracle.h"
+#include "core/qbs_index.h"
+#include "core/serialization.h"
+#include "gen/generators.h"
+#include "tests/test_util.h"
+#include "workload/query_workload.h"
+
+namespace qbs {
+namespace {
+
+class SerializationTest : public ::testing::Test {
+ protected:
+  void SetUp() override { path_ = ::testing::TempDir() + "/index.qbs"; }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(SerializationTest, SchemeRoundTrip) {
+  Graph g = testing::Figure4Graph();
+  const auto scheme =
+      BuildLabelingScheme(g, testing::Figure4Landmarks());
+  ASSERT_TRUE(SaveLabelingScheme(scheme, path_));
+  auto loaded = LoadLabelingScheme(path_);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->labeling.landmarks(), scheme.labeling.landmarks());
+  EXPECT_EQ(loaded->labeling.NumEntries(), scheme.labeling.NumEntries());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (LandmarkIndex i = 0; i < 3; ++i) {
+      EXPECT_EQ(loaded->labeling.Get(v, i), scheme.labeling.Get(v, i));
+    }
+  }
+  EXPECT_EQ(loaded->meta.Edges(), scheme.meta.Edges());
+  for (LandmarkIndex i = 0; i < 3; ++i) {
+    for (LandmarkIndex j = 0; j < 3; ++j) {
+      EXPECT_EQ(loaded->meta.Distance(i, j), scheme.meta.Distance(i, j));
+    }
+  }
+}
+
+TEST_F(SerializationTest, IndexSaveLoadQueriesAgree) {
+  Graph g = BarabasiAlbert(400, 3, 9);
+  QbsOptions options;
+  options.num_landmarks = 10;
+  QbsIndex built = QbsIndex::Build(g, options);
+  ASSERT_TRUE(built.Save(path_));
+
+  auto loaded = QbsIndex::LoadFromFile(g, path_, options);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->landmarks(), built.landmarks());
+  EXPECT_GT(loaded->DeltaSizeBytes(), 0u);  // Δ rebuilt on load
+  for (const auto& [u, v] : SampleQueryPairs(g, 40, 3)) {
+    ASSERT_EQ(loaded->Query(u, v), built.Query(u, v));
+    ASSERT_EQ(loaded->Query(u, v), SpgByDoubleBfs(g, u, v));
+  }
+}
+
+TEST_F(SerializationTest, LoadRejectsWrongGraph) {
+  Graph g = BarabasiAlbert(300, 2, 5);
+  QbsOptions options;
+  options.num_landmarks = 5;
+  QbsIndex built = QbsIndex::Build(g, options);
+  ASSERT_TRUE(built.Save(path_));
+  Graph other = BarabasiAlbert(301, 2, 5);
+  EXPECT_FALSE(QbsIndex::LoadFromFile(other, path_, options).has_value());
+}
+
+TEST_F(SerializationTest, LoadRejectsGarbage) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "this is not an index";
+  out.close();
+  EXPECT_FALSE(LoadLabelingScheme(path_).has_value());
+}
+
+TEST_F(SerializationTest, LoadRejectsTruncated) {
+  Graph g = BarabasiAlbert(200, 2, 6);
+  QbsOptions options;
+  options.num_landmarks = 5;
+  QbsIndex built = QbsIndex::Build(g, options);
+  ASSERT_TRUE(built.Save(path_));
+  // Truncate the file to half.
+  std::ifstream in(path_, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size() / 2));
+  out.close();
+  EXPECT_FALSE(LoadLabelingScheme(path_).has_value());
+}
+
+TEST_F(SerializationTest, MissingFile) {
+  EXPECT_FALSE(LoadLabelingScheme("/nonexistent/index.qbs").has_value());
+}
+
+}  // namespace
+}  // namespace qbs

@@ -1,0 +1,191 @@
+// Exhaustive and adversarial stress tests: small random graphs where EVERY
+// vertex pair is compared against the oracle, plus structurally nasty
+// configurations (bridges, dumbbells, landmark-saturated graphs,
+// multi-component graphs with landmarks stranded in one component).
+
+#include <gtest/gtest.h>
+
+#include "baselines/bfs_oracle.h"
+#include "baselines/bibfs.h"
+#include "baselines/parent_ppl.h"
+#include "baselines/ppl.h"
+#include "core/qbs_index.h"
+#include "gen/generators.h"
+#include "graph/components.h"
+#include "util/rng.h"
+
+namespace qbs {
+namespace {
+
+// A random simple connected graph with n vertices and ~m extra edges over
+// a random spanning tree.
+Graph RandomConnectedGraph(VertexId n, uint32_t extra_edges, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  for (VertexId v = 1; v < n; ++v) {
+    edges.emplace_back(v, static_cast<VertexId>(rng.UniformInt(v)));
+  }
+  for (uint32_t i = 0; i < extra_edges; ++i) {
+    const auto a = static_cast<VertexId>(rng.UniformInt(n));
+    const auto b = static_cast<VertexId>(rng.UniformInt(n));
+    if (a != b) edges.emplace_back(a, b);
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+struct ExhaustiveParam {
+  VertexId n;
+  uint32_t extra;
+  uint32_t landmarks;
+  uint64_t seed;
+};
+
+class ExhaustiveAllPairs : public ::testing::TestWithParam<ExhaustiveParam> {
+};
+
+TEST_P(ExhaustiveAllPairs, QbsEqualsOracleOnEveryPair) {
+  const auto& p = GetParam();
+  Graph g = RandomConnectedGraph(p.n, p.extra, p.seed);
+  QbsOptions options;
+  options.num_landmarks = p.landmarks;
+  options.seed = p.seed;
+  QbsIndex index = QbsIndex::Build(g, options);
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    const auto dist_u = BfsDistances(g, u);
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      const auto dist_v = BfsDistances(g, v);
+      const auto want = SpgFromDistances(g, u, v, dist_u, dist_v);
+      ASSERT_EQ(index.Query(u, v), want)
+          << "n=" << p.n << " seed=" << p.seed << " u=" << u << " v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExhaustiveAllPairs,
+    ::testing::Values(ExhaustiveParam{24, 10, 3, 1},
+                      ExhaustiveParam{24, 30, 5, 2},
+                      ExhaustiveParam{30, 15, 0, 3},   // no landmarks
+                      ExhaustiveParam{30, 15, 30, 4},  // all landmarks
+                      ExhaustiveParam{40, 20, 8, 5},
+                      ExhaustiveParam{40, 60, 20, 6},
+                      ExhaustiveParam{16, 100, 4, 7},  // near-complete
+                      ExhaustiveParam{50, 5, 10, 8})); // near-tree
+
+TEST(StressTest, DumbbellBridge) {
+  // Two cliques joined by a long path; the bridge path is critical.
+  std::vector<Edge> edges;
+  for (VertexId i = 0; i < 6; ++i) {
+    for (VertexId j = i + 1; j < 6; ++j) edges.emplace_back(i, j);
+  }
+  for (VertexId i = 10; i < 16; ++i) {
+    for (VertexId j = i + 1; j < 16; ++j) edges.emplace_back(i, j);
+  }
+  edges.emplace_back(0, 6);
+  edges.emplace_back(6, 7);
+  edges.emplace_back(7, 8);
+  edges.emplace_back(8, 10);
+  Graph g = Graph::FromEdges(16, edges);
+  QbsOptions options;
+  options.num_landmarks = 4;
+  QbsIndex index = QbsIndex::Build(g, options);
+  for (VertexId u = 0; u < 16; ++u) {
+    for (VertexId v = 0; v < 16; ++v) {
+      ASSERT_EQ(index.Query(u, v), SpgByDoubleBfs(g, u, v));
+    }
+  }
+  // The bridge vertices are on all shortest 3 -> 13 paths.
+  const auto spg = index.Query(3, 13);
+  const auto critical = spg.CriticalVertices();
+  EXPECT_NE(std::find(critical.begin(), critical.end(), 7u), critical.end());
+}
+
+TEST(StressTest, LandmarksStrandedInOtherComponent) {
+  // All landmarks end up in the big component; the small one must still be
+  // answered (pure sparsified search, empty sketches).
+  std::vector<Edge> edges;
+  for (VertexId i = 0; i < 30; ++i) {
+    edges.emplace_back(i, (i + 1) % 30);
+    edges.emplace_back(i, (i + 2) % 30);  // dense-ish ring
+  }
+  // Small far component: a 5-cycle.
+  for (VertexId i = 30; i < 35; ++i) {
+    edges.emplace_back(i, i == 34 ? 30 : i + 1);
+  }
+  Graph g = Graph::FromEdges(35, edges);
+  QbsOptions options;
+  options.num_landmarks = 5;  // degree selection picks ring vertices
+  QbsIndex index = QbsIndex::Build(g, options);
+  for (VertexId r : index.landmarks()) EXPECT_LT(r, 30u);
+  for (VertexId u = 30; u < 35; ++u) {
+    for (VertexId v = 30; v < 35; ++v) {
+      ASSERT_EQ(index.Query(u, v), SpgByDoubleBfs(g, u, v));
+    }
+    // Cross-component queries are disconnected.
+    EXPECT_FALSE(index.Query(u, 0).Connected());
+  }
+}
+
+TEST(StressTest, RepeatedQueriesAreIdempotent) {
+  Graph g = RandomConnectedGraph(200, 150, 9);
+  QbsOptions options;
+  options.num_landmarks = 10;
+  QbsIndex index = QbsIndex::Build(g, options);
+  const auto first = index.Query(5, 150);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(index.Query(5, 150), first);
+    // Interleave other queries to perturb the scratch state.
+    index.Query(static_cast<VertexId>(i), static_cast<VertexId>(199 - i));
+  }
+}
+
+TEST(StressTest, AllBaselinesAgreeOnNastyGraph) {
+  // A graph with heavy shortest-path multiplicity: layered complete
+  // bipartite blocks.
+  std::vector<Edge> edges;
+  auto layer = [](int l, int i) { return static_cast<VertexId>(l * 4 + i); };
+  for (int l = 0; l < 4; ++l) {
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        edges.emplace_back(layer(l, i), layer(l + 1, j));
+      }
+    }
+  }
+  Graph g = Graph::FromEdges(20, edges);
+  QbsOptions options;
+  options.num_landmarks = 3;
+  QbsIndex qbs = QbsIndex::Build(g, options);
+  BiBfs bibfs(g);
+  auto ppl = PplIndex::Build(g);
+  auto pppl = ParentPplIndex::Build(g);
+  ASSERT_TRUE(ppl.has_value());
+  ASSERT_TRUE(pppl.has_value());
+  for (VertexId u = 0; u < 20; ++u) {
+    for (VertexId v = 0; v < 20; ++v) {
+      const auto want = SpgByDoubleBfs(g, u, v);
+      ASSERT_EQ(qbs.Query(u, v), want);
+      ASSERT_EQ(bibfs.Query(u, v), want);
+      ASSERT_EQ(ppl->QuerySpg(u, v), want);
+      ASSERT_EQ(pppl->QuerySpg(u, v), want);
+    }
+  }
+  // 4 layers of complete bipartite K4,4: 4^3 = 64 corner-to-corner paths.
+  EXPECT_EQ(qbs.Query(0, 16).CountShortestPaths(), 64u);
+}
+
+TEST(StressTest, HighDiameterWithFewLandmarks) {
+  // Long cycle: distances up to 150; exercises deep level vectors and the
+  // d* guidance on both sides.
+  Graph g = CycleGraph(300);
+  QbsOptions options;
+  options.num_landmarks = 3;
+  QbsIndex index = QbsIndex::Build(g, options);
+  for (VertexId v : {1u, 75u, 149u, 150u, 151u, 299u}) {
+    ASSERT_EQ(index.Query(0, v), SpgByDoubleBfs(g, 0, v)) << v;
+  }
+  // Antipodal pair on an even cycle: exactly two shortest paths.
+  EXPECT_EQ(index.Query(0, 150).CountShortestPaths(), 2u);
+}
+
+}  // namespace
+}  // namespace qbs

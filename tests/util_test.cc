@@ -1,0 +1,158 @@
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/epoch_array.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace qbs {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformIntInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformRealInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.UniformReal();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformInRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t x = rng.UniformInRange(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo |= x == -3;
+    saw_hi |= x == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(EpochArrayTest, DefaultUntilSet) {
+  EpochArray<uint32_t> a(10, 99);
+  EXPECT_EQ(a.Get(3), 99u);
+  EXPECT_FALSE(a.IsSet(3));
+  a.Set(3, 7);
+  EXPECT_EQ(a.Get(3), 7u);
+  EXPECT_TRUE(a.IsSet(3));
+}
+
+TEST(EpochArrayTest, ResetClearsAll) {
+  EpochArray<uint32_t> a(10, 0);
+  for (size_t i = 0; i < 10; ++i) a.Set(i, static_cast<uint32_t>(i));
+  a.Reset();
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_FALSE(a.IsSet(i));
+    EXPECT_EQ(a.Get(i), 0u);
+  }
+}
+
+TEST(EpochArrayTest, ManyResetCycles) {
+  EpochArray<int> a(4, -1);
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    a.Set(cycle % 4, cycle);
+    EXPECT_EQ(a.Get(cycle % 4), cycle);
+    a.Reset();
+    EXPECT_EQ(a.Get(cycle % 4), -1);
+  }
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.Schedule([&count] { count.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ParallelForTest, CoversAllIndicesOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  ParallelFor(hits.size(), 8,
+              [&](size_t i, size_t) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, SingleThreadInline) {
+  std::vector<int> order;
+  ParallelFor(5, 1, [&](size_t i, size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, WorkerIndexInRange) {
+  std::atomic<bool> ok{true};
+  ParallelFor(100, 3, [&](size_t, size_t worker) {
+    if (worker >= 3) ok = false;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ParallelForTest, ZeroCountIsNoop) {
+  ParallelFor(0, 4, [](size_t, size_t) { FAIL(); });
+}
+
+TEST(WallTimerTest, Monotonic) {
+  WallTimer t;
+  const int64_t a = t.ElapsedNanos();
+  const int64_t b = t.ElapsedNanos();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0);
+}
+
+}  // namespace
+}  // namespace qbs

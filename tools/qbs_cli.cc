@@ -1,0 +1,215 @@
+// qbs — command-line front end for the library.
+//
+//   qbs generate <family> <out.edges> [args...]   synthesize a graph
+//   qbs stats    <graph.edges>                    print graph statistics
+//   qbs build    <graph.edges> <out.qbs> [opts]   build & save an index
+//   qbs query    <graph.edges> <index.qbs|-> <u> <v> [more u v ...]
+//
+// generate families:
+//   ba <n> <m> [seed]           Barabási–Albert
+//   er <n> <edges> [seed]       Erdős–Rényi G(n, m)
+//   ws <n> <k> <beta> [seed]    Watts–Strogatz
+//   rmat <scale> <ef> [seed]    R-MAT (2^scale vertices)
+//   dataset <ABBREV> [scale]    Table 1 stand-in (DO, DB, ..., CW)
+//
+// build options: --landmarks K (default 20), --threads T (default all),
+//                --strategy degree|random|deg-weighted|closeness,
+//                --no-delta
+//
+// query: pass '-' as the index path to build one in memory on the fly.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/qbs_index.h"
+#include "gen/generators.h"
+#include "graph/bfs.h"
+#include "graph/components.h"
+#include "graph/edge_list_io.h"
+#include "util/timer.h"
+#include "workload/dataset_registry.h"
+#include "workload/query_workload.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: qbs generate <family> <out.edges> [args...]\n"
+               "       qbs stats <graph.edges>\n"
+               "       qbs build <graph.edges> <out.qbs> [--landmarks K] "
+               "[--threads T] [--strategy S] [--no-delta]\n"
+               "       qbs query <graph.edges> <index.qbs|-> <u> <v> ...\n");
+  return 2;
+}
+
+uint64_t ArgU64(const char* s) { return std::strtoull(s, nullptr, 10); }
+
+int Generate(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string family = argv[0];
+  const std::string out = argv[1];
+  qbs::Graph g;
+  if (family == "ba" && argc >= 4) {
+    g = qbs::BarabasiAlbert(static_cast<qbs::VertexId>(ArgU64(argv[2])),
+                            static_cast<uint32_t>(ArgU64(argv[3])),
+                            argc > 4 ? ArgU64(argv[4]) : 1);
+  } else if (family == "er" && argc >= 4) {
+    g = qbs::LargestComponent(
+            qbs::ErdosRenyi(static_cast<qbs::VertexId>(ArgU64(argv[2])),
+                            ArgU64(argv[3]), argc > 4 ? ArgU64(argv[4]) : 1))
+            .graph;
+  } else if (family == "ws" && argc >= 5) {
+    g = qbs::WattsStrogatz(static_cast<qbs::VertexId>(ArgU64(argv[2])),
+                           static_cast<uint32_t>(ArgU64(argv[3])),
+                           std::atof(argv[4]),
+                           argc > 5 ? ArgU64(argv[5]) : 1);
+  } else if (family == "rmat" && argc >= 4) {
+    g = qbs::LargestComponent(
+            qbs::RMat(static_cast<uint32_t>(ArgU64(argv[2])),
+                      static_cast<uint32_t>(ArgU64(argv[3])), 0.57, 0.19,
+                      0.19, argc > 4 ? ArgU64(argv[4]) : 1))
+            .graph;
+  } else if (family == "dataset" && argc >= 3) {
+    g = qbs::MakeDataset(qbs::DatasetByAbbrev(argv[2]),
+                         argc > 3 ? std::atof(argv[3]) : 1.0);
+  } else {
+    return Usage();
+  }
+  if (!qbs::WriteEdgeList(g, out)) return 1;
+  std::printf("wrote %s: %u vertices, %llu edges\n", out.c_str(),
+              g.NumVertices(), static_cast<unsigned long long>(g.NumEdges()));
+  return 0;
+}
+
+int Stats(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  auto g = qbs::ReadEdgeList(argv[0]);
+  if (!g.has_value()) return 1;
+  const auto info = qbs::ConnectedComponents(*g);
+  std::printf("vertices:        %u\n", g->NumVertices());
+  std::printf("edges:           %llu\n",
+              static_cast<unsigned long long>(g->NumEdges()));
+  std::printf("max degree:      %u\n", g->MaxDegree());
+  std::printf("avg degree:      %.2f\n", g->AverageDegree());
+  std::printf("components:      %u (largest %u)\n", info.num_components,
+              info.num_components == 0 ? 0 : info.sizes[info.largest]);
+  std::printf("adjacency bytes: %llu\n",
+              static_cast<unsigned long long>(g->SizeBytes()));
+  const auto pairs = qbs::SampleQueryPairs(*g, 500, 1);
+  const auto dist = qbs::ComputeDistanceDistribution(*g, pairs);
+  std::printf("avg distance:    %.2f (over 500 sampled pairs)\n",
+              dist.Mean());
+  return 0;
+}
+
+bool ParseBuildOptions(int argc, char** argv, qbs::QbsOptions* options) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--landmarks" && i + 1 < argc) {
+      options->num_landmarks = static_cast<uint32_t>(ArgU64(argv[++i]));
+    } else if (a == "--threads" && i + 1 < argc) {
+      options->num_threads = static_cast<size_t>(ArgU64(argv[++i]));
+    } else if (a == "--no-delta") {
+      options->precompute_delta = false;
+    } else if (a == "--strategy" && i + 1 < argc) {
+      const std::string s = argv[++i];
+      if (s == "degree") {
+        options->landmark_strategy = qbs::LandmarkStrategy::kHighestDegree;
+      } else if (s == "random") {
+        options->landmark_strategy = qbs::LandmarkStrategy::kRandom;
+      } else if (s == "deg-weighted") {
+        options->landmark_strategy =
+            qbs::LandmarkStrategy::kDegreeWeightedRandom;
+      } else if (s == "closeness") {
+        options->landmark_strategy = qbs::LandmarkStrategy::kApproxCloseness;
+      } else {
+        std::fprintf(stderr, "unknown strategy %s\n", s.c_str());
+        return false;
+      }
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int Build(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  auto g = qbs::ReadEdgeList(argv[0]);
+  if (!g.has_value()) return 1;
+  qbs::QbsOptions options;
+  options.num_threads = 0;
+  if (!ParseBuildOptions(argc - 2, argv + 2, &options)) return 2;
+  qbs::WallTimer timer;
+  qbs::QbsIndex index = qbs::QbsIndex::Build(*g, options);
+  std::printf("built |R|=%zu (%s) in %.3fs (labelling %.3fs, delta %.3fs)\n",
+              index.landmarks().size(),
+              qbs::LandmarkStrategyName(options.landmark_strategy),
+              timer.ElapsedSeconds(), index.timings().labeling_seconds,
+              index.timings().delta_seconds);
+  std::printf("size(L)=%llu bytes, size(Delta)=%llu bytes\n",
+              static_cast<unsigned long long>(index.LabelingSizeBytes()),
+              static_cast<unsigned long long>(index.DeltaSizeBytes()));
+  if (!index.Save(argv[1])) return 1;
+  std::printf("saved %s\n", argv[1]);
+  return 0;
+}
+
+int Query(int argc, char** argv) {
+  if (argc < 4 || (argc - 2) % 2 != 0) return Usage();
+  auto g = qbs::ReadEdgeList(argv[0]);
+  if (!g.has_value()) return 1;
+
+  std::optional<qbs::QbsIndex> index;
+  qbs::QbsOptions options;
+  options.num_threads = 0;
+  if (std::strcmp(argv[1], "-") == 0) {
+    index = qbs::QbsIndex::Build(*g, options);
+  } else {
+    index = qbs::QbsIndex::LoadFromFile(*g, argv[1], options);
+    if (!index.has_value()) return 1;
+  }
+
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const auto u = static_cast<qbs::VertexId>(ArgU64(argv[i]));
+    const auto v = static_cast<qbs::VertexId>(ArgU64(argv[i + 1]));
+    if (u >= g->NumVertices() || v >= g->NumVertices()) {
+      std::fprintf(stderr, "vertex out of range: %u %u\n", u, v);
+      return 2;
+    }
+    qbs::WallTimer timer;
+    qbs::SearchStats stats;
+    const auto spg = index->Query(u, v, &stats);
+    const double ms = timer.ElapsedMillis();
+    if (!spg.Connected()) {
+      std::printf("SPG(%u,%u): disconnected (%.4f ms)\n", u, v, ms);
+      continue;
+    }
+    std::printf("SPG(%u,%u): d=%u, %zu vertices, %zu edges, %llu paths "
+                "(%.4f ms, %llu edge scans)\n",
+                u, v, spg.distance, spg.Vertices().size(), spg.edges.size(),
+                static_cast<unsigned long long>(spg.CountShortestPaths()),
+                ms,
+                static_cast<unsigned long long>(stats.TotalEdgesScanned()));
+    for (const qbs::Edge& e : spg.edges) {
+      std::printf("  %u %u\n", e.u, e.v);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "generate") return Generate(argc - 2, argv + 2);
+  if (cmd == "stats") return Stats(argc - 2, argv + 2);
+  if (cmd == "build") return Build(argc - 2, argv + 2);
+  if (cmd == "query") return Query(argc - 2, argv + 2);
+  return Usage();
+}
