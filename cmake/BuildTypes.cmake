@@ -1,0 +1,35 @@
+# Build-type plumbing: default to Release, and add sanitizer build types
+# (ASan = address+undefined, UBSan = undefined only, TSan = thread) so that
+# `cmake -DCMAKE_BUILD_TYPE=ASan` or the matching preset just works.
+
+get_property(_qbs_multi_config GLOBAL PROPERTY GENERATOR_IS_MULTI_CONFIG)
+
+if(NOT _qbs_multi_config)
+  if(NOT CMAKE_BUILD_TYPE)
+    message(STATUS "No build type selected, defaulting to Release")
+    set(CMAKE_BUILD_TYPE
+        "Release"
+        CACHE STRING "Build type" FORCE)
+  endif()
+  set_property(CACHE CMAKE_BUILD_TYPE PROPERTY STRINGS
+               "Debug;Release;RelWithDebInfo;MinSizeRel;ASan;UBSan;TSan")
+endif()
+
+set(_qbs_asan_flags
+    "-O1 -g -fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+)
+set(_qbs_ubsan_flags "-O1 -g -fsanitize=undefined -fno-sanitize-recover=all")
+set(_qbs_tsan_flags "-O1 -g -fsanitize=thread")
+
+foreach(_cfg ASAN UBSAN TSAN)
+  string(TOLOWER ${_cfg} _cfg_lower)
+  set(CMAKE_CXX_FLAGS_${_cfg}
+      "${_qbs_${_cfg_lower}_flags}"
+      CACHE STRING "C++ flags for ${_cfg} builds" FORCE)
+  set(CMAKE_EXE_LINKER_FLAGS_${_cfg}
+      "${_qbs_${_cfg_lower}_flags}"
+      CACHE STRING "Linker flags for ${_cfg} builds" FORCE)
+  set(CMAKE_SHARED_LINKER_FLAGS_${_cfg}
+      "${_qbs_${_cfg_lower}_flags}"
+      CACHE STRING "Shared linker flags for ${_cfg} builds" FORCE)
+endforeach()

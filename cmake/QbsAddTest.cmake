@@ -1,0 +1,31 @@
+# qbs_add_test(<name>
+#   SOURCES <files...>
+#   [LABELS <labels...>]          # ctest labels: unit / integration / stress
+#   [LIBS <targets...>]           # extra link targets besides qbs_core
+#   [TIMEOUT <seconds>]           # default 120
+#   [ARGS <args...>])             # extra argv passed to the test binary
+#
+# Builds one GoogleTest binary and registers it with ctest. Modeled on
+# Katana's AddUnitTest.cmake: one function call per test file keeps the
+# per-directory lists declarative.
+function(qbs_add_test name)
+  cmake_parse_arguments(ARG "" "TIMEOUT" "SOURCES;LABELS;LIBS;ARGS" ${ARGN})
+
+  if(NOT ARG_SOURCES)
+    message(FATAL_ERROR "qbs_add_test(${name}): SOURCES is required")
+  endif()
+  if(NOT ARG_TIMEOUT)
+    set(ARG_TIMEOUT 120)
+  endif()
+
+  add_executable(${name} ${ARG_SOURCES})
+  target_link_libraries(${name} PRIVATE qbs_core qbs_warnings
+                                        GTest::gtest_main ${ARG_LIBS})
+  target_include_directories(${name} PRIVATE "${PROJECT_SOURCE_DIR}")
+
+  add_test(NAME ${name} COMMAND ${name} ${ARG_ARGS})
+  set_tests_properties(${name} PROPERTIES TIMEOUT ${ARG_TIMEOUT})
+  if(ARG_LABELS)
+    set_tests_properties(${name} PROPERTIES LABELS "${ARG_LABELS}")
+  endif()
+endfunction()

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Bitrot guard: run one table bench end-to-end on a tiny input. Mirrors the
+# CI "bench smoke" step; pass a build dir (default: build).
+set -euo pipefail
+build_dir="${1:-build}"
+
+export QBS_BENCH_SCALE="${QBS_BENCH_SCALE:-0.01}"
+export QBS_BENCH_PAIRS="${QBS_BENCH_PAIRS:-20}"
+export QBS_BENCH_DATASETS="${QBS_BENCH_DATASETS:-DO,DB}"
+
+"${build_dir}/bench/bench_table1_datasets"
+echo "bench smoke: OK"

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Runs clang-format in check mode over every tracked C++ source.
+# Used by the CI format job; run locally before pushing:
+#   scripts/check_format.sh          # check only
+#   scripts/check_format.sh --fix    # rewrite files in place
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# CI pins the binary via CLANG_FORMAT (formatting drifts across majors).
+clang_format="${CLANG_FORMAT:-clang-format}"
+
+mode=(--dry-run --Werror)
+if [[ "${1:-}" == "--fix" ]]; then
+  mode=(-i)
+fi
+
+git ls-files 'src/**/*.h' 'src/**/*.cc' 'tests/*.h' 'tests/*.cc' \
+             'bench/*.h' 'bench/*.cc' 'examples/*.cpp' 'tools/*.cc' |
+  xargs "${clang_format}" "${mode[@]}"
+echo "clang-format: OK"

@@ -1,0 +1,141 @@
+// End-to-end smoke test for tools/qbs_cli.cc. Drives the installed binary
+// through its four subcommands: synthesize a small graph, print stats,
+// build + save an index, then answer queries from the saved index and from
+// a freshly built in-memory one ('-'), checking the two agree.
+//
+// The path to the CLI binary is passed as the first non-gtest argv.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace {
+
+std::string g_cli_path;
+
+// Shell-quotes one argument for the popen()'d command line; paths (the CLI
+// binary under the build tree, TMPDIR) may contain spaces.
+std::string Quoted(const std::string& arg) {
+  std::string out = "'";
+  for (const char c : arg) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+// Runs `cmd`, captures stdout, and returns it; fails the test on a non-zero
+// exit status.
+std::string RunOk(const std::string& cmd) {
+  std::string out;
+  FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "popen failed for: " << cmd;
+  if (pipe == nullptr) return out;
+  std::array<char, 4096> buf;
+  size_t n;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    out.append(buf.data(), n);
+  }
+  const int status = pclose(pipe);
+  EXPECT_EQ(status, 0) << "command failed: " << cmd << "\noutput:\n" << out;
+  return out;
+}
+
+class CliSmokeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per-run dir: concurrent ctest invocations (e.g. two build
+    // trees, or a shared CI runner) must not share scratch files.
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "qbs_cli_smoke.XXXXXX")
+            .string();
+    ASSERT_NE(mkdtemp(tmpl.data()), nullptr) << "mkdtemp: " << tmpl;
+    dir_ = tmpl;
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CliSmokeTest, GenerateBuildSaveLoadQuery) {
+  const std::string cli = Quoted(g_cli_path);
+  const std::string edges = Path("g.edges");
+  const std::string index = Path("g.qbs");
+
+  // Synthesize a small Barabási–Albert graph (connected by construction).
+  const std::string gen_out =
+      RunOk(cli + " generate ba " + Quoted(edges) + " 300 3 7");
+  EXPECT_NE(gen_out.find("300 vertices"), std::string::npos) << gen_out;
+
+  const std::string stats_out = RunOk(cli + " stats " + Quoted(edges));
+  EXPECT_NE(stats_out.find("vertices:"), std::string::npos) << stats_out;
+  EXPECT_NE(stats_out.find("components:      1"), std::string::npos)
+      << stats_out;
+
+  // Build and save an index.
+  const std::string build_out = RunOk(cli + " build " + Quoted(edges) + " " +
+                                      Quoted(index) + " --landmarks 8");
+  EXPECT_NE(build_out.find("saved"), std::string::npos) << build_out;
+  EXPECT_TRUE(std::filesystem::exists(index));
+
+  // Query through the saved index, and through a fresh in-memory build;
+  // the reported SPG lines must match (deterministic landmark selection).
+  const std::string q = " query " + Quoted(edges) + " ";
+  const std::string pairs = " 0 299 5 250 17 123";
+  const std::string loaded_out = RunOk(cli + q + Quoted(index) + pairs);
+  const std::string fresh_out = RunOk(cli + q + "-" + pairs);
+
+  for (const auto* needle : {"SPG(0,299)", "SPG(5,250)", "SPG(17,123)"}) {
+    EXPECT_NE(loaded_out.find(needle), std::string::npos)
+        << needle << " missing from:\n"
+        << loaded_out;
+  }
+  // Distances from the loaded index must agree with the fresh build. Compare
+  // just the "d=..." summary lines (timings differ run to run).
+  auto summary_lines = [](const std::string& s) {
+    std::string acc;
+    size_t pos = 0;
+    while ((pos = s.find("SPG(", pos)) != std::string::npos) {
+      const size_t paren = s.find(" (", pos);
+      const size_t eol = s.find('\n', pos);
+      const size_t end = std::min(paren == std::string::npos ? eol : paren,
+                                  eol == std::string::npos ? paren : eol);
+      acc += s.substr(pos, end - pos);
+      acc += '\n';
+      pos = end == std::string::npos ? s.size() : end;
+    }
+    return acc;
+  };
+  EXPECT_EQ(summary_lines(loaded_out), summary_lines(fresh_out));
+}
+
+TEST_F(CliSmokeTest, UsageOnBadInvocation) {
+  FILE* pipe = popen((Quoted(g_cli_path) + " bogus 2>/dev/null").c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  const int status = pclose(pipe);
+  EXPECT_NE(status, 0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: cli_smoke_test <path-to-qbs-cli>\n");
+    return 2;
+  }
+  g_cli_path = argv[1];
+  return RUN_ALL_TESTS();
+}
