@@ -2,13 +2,19 @@
 // in prose for Twitter: (1) sparsification reduces edges traversed, (2)
 // sketch guidance reduces them further versus plain Bi-BFS, (3) the Δ
 // precomputation removes landmark-landmark recovery work. Also ablates the
-// landmark selection strategy (degree vs. random, the §8 future-work hook).
+// landmark selection strategy (degree vs. random, the §8 future-work hook)
+// and the frontier engine's direction switching (top-down vs
+// direction-optimizing full-graph BFS — the construction-time kernel).
 
+#include <algorithm>
 #include <cstdio>
+#include <numeric>
+#include <vector>
 
 #include "baselines/bibfs.h"
 #include "bench/bench_common.h"
 #include "core/qbs_index.h"
+#include "graph/frontier.h"
 #include "util/timer.h"
 
 namespace qbs::bench {
@@ -80,7 +86,56 @@ void Run() {
   table.Footer();
 }
 
+// Direction-switching ablation: a full-graph BFS from the 5 highest-degree
+// vertices, top-down versus direction-optimizing, with the engine's scan
+// counters. This is the per-landmark kernel of Algorithm 2 construction.
+void RunFrontierAblation() {
+  std::printf("Frontier engine: top-down vs direction-optimizing "
+              "full-graph BFS (5 hub sources)\n");
+  TablePrinter table("Frontier ablation",
+                     {"Dataset", "td(ms)", "auto(ms)", "speedup",
+                      "scan.td", "scan.auto", "bu.levels"},
+                     {12, 9, 9, 8, 12, 12, 9});
+  for (const auto& spec : SelectedDatasets()) {
+    const LoadedDataset d = LoadDataset(spec);
+    const Graph& g = d.graph;
+    std::vector<VertexId> sources(g.NumVertices());
+    std::iota(sources.begin(), sources.end(), 0);
+    const size_t top = std::min<size_t>(5, sources.size());
+    std::partial_sort(
+        sources.begin(), sources.begin() + top, sources.end(),
+        [&g](VertexId a, VertexId b) { return g.Degree(a) > g.Degree(b); });
+    sources.resize(top);
+
+    FrontierEngine engine;
+    std::vector<uint32_t> dist;
+    uint64_t scans[2] = {0, 0};
+    uint32_t bu_levels = 0;
+    double ms[2] = {0, 0};
+    const TraversalMode modes[2] = {TraversalMode::kTopDown,
+                                    TraversalMode::kAuto};
+    for (int m = 0; m < 2; ++m) {
+      WallTimer timer;
+      for (VertexId s : sources) {
+        engine.Distances(g, s, kUnreachable - 1, &dist, modes[m]);
+        scans[m] += engine.stats().edges_scanned;
+        if (m == 1) bu_levels += engine.stats().bottom_up_levels;
+      }
+      ms[m] = timer.ElapsedMillis();
+    }
+    table.Row({spec.abbrev, FormatMs(ms[0]), FormatMs(ms[1]),
+               FormatDouble(ms[1] > 0 ? ms[0] / ms[1] : 0.0, 2),
+               std::to_string(scans[0]), std::to_string(scans[1]),
+               std::to_string(bu_levels)});
+  }
+  table.Footer();
+}
+
 }  // namespace
 }  // namespace qbs::bench
 
-int main() { qbs::bench::Run(); }
+int main(int argc, char** argv) {
+  qbs::bench::InitBenchArgs(argc, argv);
+  qbs::bench::Run();
+  qbs::bench::RunFrontierAblation();
+}

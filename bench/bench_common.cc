@@ -9,34 +9,90 @@
 namespace qbs::bench {
 namespace {
 
-double EnvDouble(const char* name, double fallback) {
-  const char* s = std::getenv(name);
+// Flag overrides (from InitBenchArgs); empty string = not set.
+struct FlagOverrides {
+  std::string scale, pairs, budget, threads, datasets, batch_size, grain;
+};
+FlagOverrides g_flags;
+
+double ToDouble(const std::string& flag, const char* env_name,
+                double fallback) {
+  if (!flag.empty()) return std::atof(flag.c_str());
+  const char* s = std::getenv(env_name);
   return s == nullptr ? fallback : std::atof(s);
 }
 
 }  // namespace
 
-double EnvScale() { return EnvDouble("QBS_BENCH_SCALE", 1.0); }
-
-size_t EnvPairs() {
-  return static_cast<size_t>(EnvDouble("QBS_BENCH_PAIRS", 500));
+void InitBenchArgs(int argc, char** argv) {
+  const struct {
+    const char* name;
+    std::string* slot;
+  } known[] = {{"--scale=", &g_flags.scale},
+               {"--pairs=", &g_flags.pairs},
+               {"--budget=", &g_flags.budget},
+               {"--threads=", &g_flags.threads},
+               {"--datasets=", &g_flags.datasets},
+               {"--batch_size=", &g_flags.batch_size},
+               {"--grain=", &g_flags.grain}};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    bool matched = false;
+    for (const auto& k : known) {
+      const std::string prefix(k.name);
+      if (arg.rfind(prefix, 0) == 0) {
+        *k.slot = arg.substr(prefix.size());
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      std::fprintf(stderr,
+                   "unknown flag: %s\nusage: %s [--scale=F] [--pairs=N] "
+                   "[--budget=S] [--threads=N] [--datasets=DO,DB,...] "
+                   "[--batch_size=N] [--grain=N]\n",
+                   arg.c_str(), argv[0]);
+      std::exit(2);
+    }
+  }
 }
 
-double EnvBudgetSeconds() { return EnvDouble("QBS_BENCH_BUDGET", 10.0); }
+double EnvScale() { return ToDouble(g_flags.scale, "QBS_BENCH_SCALE", 1.0); }
+
+size_t EnvPairs() {
+  return static_cast<size_t>(ToDouble(g_flags.pairs, "QBS_BENCH_PAIRS", 500));
+}
+
+double EnvBudgetSeconds() {
+  return ToDouble(g_flags.budget, "QBS_BENCH_BUDGET", 10.0);
+}
 
 size_t EnvThreads() {
-  const double v = EnvDouble("QBS_BENCH_THREADS", 0);
+  const double v = ToDouble(g_flags.threads, "QBS_BENCH_THREADS", 0);
   if (v > 0) return static_cast<size_t>(v);
   const size_t hw = std::thread::hardware_concurrency();
   // The paper parallelizes QbS-P with up to 12 threads.
   return std::min<size_t>(hw == 0 ? 1 : hw, 12);
 }
 
+size_t EnvBatchSize() {
+  const double v =
+      ToDouble(g_flags.batch_size, "QBS_BENCH_BATCH_SIZE", 256);
+  return v > 0 ? static_cast<size_t>(v) : 256;
+}
+
+size_t EnvGrain() {
+  return static_cast<size_t>(ToDouble(g_flags.grain, "QBS_BENCH_GRAIN", 0));
+}
+
 std::vector<DatasetSpec> SelectedDatasets() {
   std::vector<DatasetSpec> result;
-  const char* filter = std::getenv("QBS_BENCH_DATASETS");
-  if (filter == nullptr) return PaperDatasets();
-  std::string s(filter);
+  std::string s = g_flags.datasets;
+  if (s.empty()) {
+    const char* filter = std::getenv("QBS_BENCH_DATASETS");
+    if (filter == nullptr) return PaperDatasets();
+    s = filter;
+  }
   std::stringstream ss(s);
   std::string item;
   while (std::getline(ss, item, ',')) {
@@ -63,6 +119,10 @@ TablePrinter::TablePrinter(std::string title,
   for (size_t i = 0; i < columns_.size(); ++i) {
     std::printf("%-*s ", widths_[i], columns_[i].c_str());
   }
+  std::printf("\n");
+  // Self-describing CSV: one header row per table for downstream tooling.
+  std::printf("csvh");
+  for (const auto& c : columns_) std::printf(",%s", c.c_str());
   std::printf("\n");
   int total = 0;
   for (int w : widths_) total += w + 1;

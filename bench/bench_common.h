@@ -1,14 +1,20 @@
 // Shared harness for the per-table / per-figure benchmark binaries.
 //
 // Environment knobs (all optional):
-//   QBS_BENCH_SCALE     dataset size multiplier (default 1.0)
-//   QBS_BENCH_PAIRS     query pairs per dataset (default 500; paper: 10,000)
-//   QBS_BENCH_BUDGET    PPL/ParentPPL construction budget in seconds
-//                       (default 10; the paper's cutoff is 24 h => DNF)
-//   QBS_BENCH_THREADS   threads for QbS-P (default min(12, hardware),
-//                       mirroring the paper's 12-thread setup)
-//   QBS_BENCH_DATASETS  comma-separated abbreviations to run (default all,
-//                       e.g. "DO,DB,YT")
+//   QBS_BENCH_SCALE      dataset size multiplier (default 1.0)
+//   QBS_BENCH_PAIRS      query pairs per dataset (default 500; paper: 10,000)
+//   QBS_BENCH_BUDGET     PPL/ParentPPL construction budget in seconds
+//                        (default 10; the paper's cutoff is 24 h => DNF)
+//   QBS_BENCH_THREADS    threads for QbS-P / QueryBatch (default min(12,
+//                        hardware), mirroring the paper's 12-thread setup)
+//   QBS_BENCH_DATASETS   comma-separated abbreviations to run (default all,
+//                        e.g. "DO,DB,YT")
+//   QBS_BENCH_BATCH_SIZE queries per QueryBatch call (default 256)
+//   QBS_BENCH_GRAIN      ParallelFor grain for QueryBatch (default 0 = auto)
+//
+// Command-line flags override the environment: pass argc/argv to
+// InitBenchArgs and use --scale=, --pairs=, --budget=, --threads=,
+// --datasets=, --batch_size=, --grain=.
 
 #ifndef QBS_BENCH_BENCH_COMMON_H_
 #define QBS_BENCH_BENCH_COMMON_H_
@@ -23,10 +29,18 @@
 
 namespace qbs::bench {
 
+// Parses --key=value flags into overrides consulted by the Env*() getters.
+// Unknown flags abort with a usage message. Call first in main().
+void InitBenchArgs(int argc, char** argv);
+
 double EnvScale();
 size_t EnvPairs();
 double EnvBudgetSeconds();
 size_t EnvThreads();
+// Batch-query knobs (ROADMAP "Parallel QueryBatch tuning"): queries per
+// QueryBatch call and the work-stealing chunk size inside a batch.
+size_t EnvBatchSize();
+size_t EnvGrain();
 
 // Registry datasets selected by QBS_BENCH_DATASETS (default: all 12).
 std::vector<DatasetSpec> SelectedDatasets();
@@ -41,7 +55,9 @@ struct LoadedDataset {
 LoadedDataset LoadDataset(const DatasetSpec& spec);
 
 // Fixed-width aligned table output. Also echoes each row as CSV to make
-// figure series machine-readable (prefix "csv,").
+// figure series machine-readable (prefix "csv,"); the column names are
+// echoed once as a "csvh," header row so downstream tooling
+// (scripts/bench_compare.py, CI artifacts) is self-describing.
 class TablePrinter {
  public:
   TablePrinter(std::string title, std::vector<std::string> columns,

@@ -37,4 +37,7 @@ void Run() {
 }  // namespace
 }  // namespace qbs::bench
 
-int main() { qbs::bench::Run(); }
+int main(int argc, char** argv) {
+  qbs::bench::InitBenchArgs(argc, argv);
+  qbs::bench::Run();
+}

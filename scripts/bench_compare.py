@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Compare two bench CSV dumps and fail on query-latency regressions.
+
+The bench binaries echo every table row as `csv,...` preceded by a
+`csvh,...` header row (see bench/bench_common.cc). This script pairs rows
+between a baseline dump and a current dump by (header, first cell) and
+compares every column whose name contains "(ms)". A regression is a
+current value exceeding baseline * threshold with an absolute increase of
+at least --min-ms (micro-benchmark noise floor).
+
+Usage:
+  bench_compare.py baseline.csv current.csv [--threshold 1.25] [--min-ms 0.01]
+
+Exit codes: 0 = ok (or nothing comparable), 1 = regression, 2 = bad input.
+"""
+
+import argparse
+import sys
+
+
+def parse_tables(path):
+    """Returns {(header_tuple, row_key): {column: value_str}}."""
+    rows = {}
+    header = None
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line.startswith("csvh,"):
+                header = tuple(line.split(",")[1:])
+            elif line.startswith("csv,"):
+                cells = line.split(",")[1:]
+                if header is None or not cells:
+                    continue
+                row = dict(zip(header, cells))
+                rows[(header, cells[0])] = row
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=1.25,
+                    help="fail when current > baseline * threshold")
+    ap.add_argument("--min-ms", type=float, default=0.002,
+                    help="ignore absolute increases below this (timer "
+                         "noise); QbS per-query averages are microsecond-"
+                         "scale, so keep this well under them")
+    args = ap.parse_args()
+
+    try:
+        base = parse_tables(args.baseline)
+        cur = parse_tables(args.current)
+    except OSError as e:
+        print(f"bench_compare: cannot read input: {e}", file=sys.stderr)
+        return 2
+
+    compared = 0
+    regressions = []
+    for key, cur_row in sorted(cur.items()):
+        base_row = base.get(key)
+        if base_row is None:
+            continue  # new dataset/table: nothing to compare against
+        for col, cur_val in cur_row.items():
+            if "(ms)" not in col:
+                continue
+            base_val = base_row.get(col)
+            if base_val is None:
+                continue
+            try:
+                b = float(base_val)
+                c = float(cur_val)
+            except ValueError:
+                continue  # DNF / OOE / "-" markers
+            compared += 1
+            status = "ok"
+            if c > b * args.threshold and c - b >= args.min_ms:
+                status = "REGRESSION"
+                regressions.append((key[1], col, b, c))
+            ratio = c / b if b > 0 else float("inf")
+            print(f"{key[1]:>12} {col:>12}: {b:9.4f} -> {c:9.4f} ms "
+                  f"({ratio:5.2f}x) {status}")
+
+    if compared == 0:
+        print("bench_compare: no comparable (ms) cells found; passing")
+        return 0
+    if regressions:
+        print(f"\nbench_compare: {len(regressions)} query-latency "
+              f"regression(s) beyond {args.threshold:.2f}x:")
+        for name, col, b, c in regressions:
+            print(f"  {name} {col}: {b:.4f} -> {c:.4f} ms")
+        return 1
+    print(f"\nbench_compare: {compared} cells compared, no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,9 +17,41 @@ BiBfs::BiBfs(const Graph& g) : g_(g) {
 void BiBfs::AddBackwardStart(int t, VertexId w) {
   if (back_mark_[t].IsSet(w)) return;
   back_mark_[t].Set(w, 1);
-  const uint32_t d = depth_[t].Get(w);
-  if (back_buckets_[t].size() <= d) back_buckets_[t].resize(d + 1);
-  back_buckets_[t][d].push_back(w);
+  back_starts_[t].emplace_back(depth_[t].Get(w), w);
+}
+
+void BiBfs::RunBackwardWalk(int t, uint64_t* scans) {
+  auto& starts = back_starts_[t];
+  if (starts.empty()) return;
+  std::sort(starts.begin(), starts.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  size_t si = 0;
+  uint32_t level = starts[0].first;
+  walk_cur_.clear();
+  while (level >= 1) {
+    while (si < starts.size() && starts[si].first == level) {
+      walk_cur_.push_back(starts[si++].second);
+    }
+    if (walk_cur_.empty()) {
+      if (si >= starts.size()) break;
+      level = starts[si].first;  // skip empty levels to the next start
+      continue;
+    }
+    walk_next_.clear();
+    for (const VertexId x : walk_cur_) {
+      *scans += g_.Degree(x);
+      for (VertexId y : g_.Neighbors(x)) {
+        if (depth_[t].Get(y) != level - 1) continue;
+        edges_.emplace_back(x, y);
+        if (!back_mark_[t].IsSet(y)) {
+          back_mark_[t].Set(y, 1);
+          walk_next_.push_back(y);
+        }
+      }
+    }
+    std::swap(walk_cur_, walk_next_);
+    --level;
+  }
 }
 
 ShortestPathGraph BiBfs::Query(VertexId u, VertexId v,
@@ -40,8 +72,8 @@ ShortestPathGraph BiBfs::Query(VertexId u, VertexId v,
   for (int s = 0; s < 2; ++s) {
     depth_[s].Reset();
     back_mark_[s].Reset();
-    levels_[s].clear();
-    back_buckets_[s].clear();
+    levels_[s].Clear();
+    back_starts_[s].clear();
   }
   meet_set_.clear();
   edges_.clear();
@@ -50,33 +82,38 @@ ShortestPathGraph BiBfs::Query(VertexId u, VertexId v,
   uint64_t volume[2] = {g_.Degree(u), g_.Degree(v)};
   for (int s = 0; s < 2; ++s) {
     depth_[s].Set(endpoint[s], 0);
-    levels_[s].push_back({endpoint[s]});
+    levels_[s].BeginLevel();
+    levels_[s].Push(endpoint[s]);
   }
 
   uint32_t d[2] = {0, 0};
   bool meet = false;
   while (!meet) {
-    if (levels_[0][d[0]].empty() || levels_[1][d[1]].empty()) {
+    if (levels_[0].LevelSize(d[0]) == 0 || levels_[1].LevelSize(d[1]) == 0) {
       result.distance = kUnreachable;
       return result;  // disconnected
     }
     // Expand the side with the smaller frontier volume.
     const int t = volume[0] <= volume[1] ? 0 : 1;
     const int o = 1 - t;
-    std::vector<VertexId> next;
-    uint64_t next_volume = 0;
     const uint32_t next_depth = d[t] + 1;
-    for (VertexId x : levels_[t][d[t]]) {
+    uint64_t next_volume = 0;
+    // Open the next level first so this level's bounds are frozen, then
+    // iterate by index: Push may reallocate the flat buffer.
+    levels_[t].BeginLevel();
+    const size_t begin = levels_[t].LevelBegin(d[t]);
+    const size_t end = levels_[t].LevelEnd(d[t]);
+    for (size_t idx = begin; idx < end; ++idx) {
+      const VertexId x = levels_[t].At(idx);
       for (VertexId w : g_.Neighbors(x)) {
         ++*scans;
         if (depth_[t].IsSet(w)) continue;
         depth_[t].Set(w, next_depth);
-        next.push_back(w);
+        levels_[t].Push(w);
         next_volume += g_.Degree(w);
         if (depth_[o].IsSet(w)) meet_set_.push_back(w);
       }
     }
-    levels_[t].push_back(std::move(next));
     volume[t] = next_volume;
     ++d[t];
     meet = !meet_set_.empty();
@@ -88,20 +125,8 @@ ShortestPathGraph BiBfs::Query(VertexId u, VertexId v,
     AddBackwardStart(0, m);
     AddBackwardStart(1, m);
   }
-  for (int t = 0; t < 2; ++t) {
-    auto& buckets = back_buckets_[t];
-    for (size_t level = buckets.size(); level-- > 1;) {
-      for (size_t i = 0; i < buckets[level].size(); ++i) {
-        const VertexId x = buckets[level][i];
-        for (VertexId y : g_.Neighbors(x)) {
-          ++*scans;
-          if (depth_[t].Get(y) != level - 1) continue;
-          edges_.emplace_back(x, y);
-          AddBackwardStart(t, y);
-        }
-      }
-    }
-  }
+  RunBackwardWalk(0, scans);
+  RunBackwardWalk(1, scans);
 
   result.edges = edges_;
   result.Normalize();

@@ -5,14 +5,18 @@
 // reverse search over the two BFS level sets.
 //
 // This is what QbS's guided search degenerates to with zero landmarks; the
-// paper's Table 2 compares query times against it.
+// paper's Table 2 compares query times against it. Frontiers live on the
+// shared flat traversal substrate (graph/frontier.h), so the baseline and
+// the guided search stay apples-to-apples.
 
 #ifndef QBS_BASELINES_BIBFS_H_
 #define QBS_BASELINES_BIBFS_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "graph/frontier.h"
 #include "graph/graph.h"
 #include "graph/spg.h"
 #include "util/epoch_array.h"
@@ -33,12 +37,16 @@ class BiBfs {
 
  private:
   void AddBackwardStart(int t, VertexId w);
+  void RunBackwardWalk(int t, uint64_t* scans);
 
   const Graph& g_;
   EpochArray<uint32_t> depth_[2];
   EpochArray<uint8_t> back_mark_[2];
-  std::vector<std::vector<VertexId>> levels_[2];
-  std::vector<std::vector<VertexId>> back_buckets_[2];
+  LevelStack levels_[2];  // flat BFS levels per side
+  // Reverse-search starts as (depth, vertex); sorted descending and walked
+  // level-by-level through two flat buffers instead of per-depth buckets.
+  std::vector<std::pair<uint32_t, VertexId>> back_starts_[2];
+  std::vector<VertexId> walk_cur_, walk_next_;
   std::vector<VertexId> meet_set_;
   std::vector<Edge> edges_;
 };

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "graph/bfs.h"
+#include "graph/frontier.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -42,9 +43,11 @@ std::optional<ParentPplIndex> ParentPplIndex::Build(
   uint64_t total_entries = 0;
   uint64_t total_parents = 0;
 
-  std::vector<uint32_t> depth(n, kUnreachable);
-  std::vector<VertexId> queue;
-  queue.reserve(n);
+  // Shared traversal-substrate scratch, reset in O(visited) between roots.
+  RootedBfsScratch bfs;
+  bfs.Prepare(n);
+  auto& depth = bfs.depth;
+  auto& queue = bfs.queue;
   std::vector<uint32_t> root_dist(n, kUnreachable);
   std::vector<VertexId> labeled_this_round;
 
@@ -67,7 +70,6 @@ std::optional<ParentPplIndex> ParentPplIndex::Build(
     }
 
     // Pruned BFS (Algorithm 1), identical to PPL.
-    queue.clear();
     labeled_this_round.clear();
     queue.push_back(root);
     depth[root] = 0;
@@ -108,7 +110,7 @@ std::optional<ParentPplIndex> ParentPplIndex::Build(
     }
     root_dist[k] = kUnreachable;
 
-    for (VertexId u : queue) depth[u] = kUnreachable;
+    bfs.ResetVisited();
     for (const ParentPplEntry& e : index.labels_[root]) {
       root_dist[e.rank] = kUnreachable;
     }

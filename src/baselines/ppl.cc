@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "graph/bfs.h"
+#include "graph/frontier.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -43,10 +44,11 @@ std::optional<PplIndex> PplIndex::Build(const Graph& g,
   WallTimer timer;
   uint64_t total_entries = 0;
 
-  // Scratch reused across pruned BFSs.
-  std::vector<uint32_t> depth(n, kUnreachable);
-  std::vector<VertexId> queue;
-  queue.reserve(n);
+  // Scratch reused across pruned BFSs (shared traversal substrate).
+  RootedBfsScratch bfs;
+  bfs.Prepare(n);
+  auto& depth = bfs.depth;
+  auto& queue = bfs.queue;
   // root_dist[r] = distance from the current root to landmark r according
   // to the root's own label (dense view for O(1) lookups during pruning).
   std::vector<uint32_t> root_dist(n, kUnreachable);
@@ -59,7 +61,6 @@ std::optional<PplIndex> PplIndex::Build(const Graph& g,
     }
 
     // Pruned BFS (Algorithm 1).
-    queue.clear();
     queue.push_back(root);
     depth[root] = 0;
     size_t head = 0;
@@ -88,7 +89,7 @@ std::optional<PplIndex> PplIndex::Build(const Graph& g,
     }
 
     // Reset scratch touched by this BFS.
-    for (VertexId u : queue) depth[u] = kUnreachable;
+    bfs.ResetVisited();
     for (const PplEntry& e : index.labels_[root]) {
       root_dist[e.rank] = kUnreachable;
     }

@@ -5,13 +5,6 @@
 #include "util/check.h"
 
 namespace qbs {
-namespace {
-
-uint64_t WalkKey(LandmarkIndex r, VertexId v) {
-  return (static_cast<uint64_t>(r) << 32) | v;
-}
-
-}  // namespace
 
 Graph MakeSparsifiedGraph(const Graph& g, const PathLabeling& labeling) {
   std::vector<Edge> edges;
@@ -38,6 +31,8 @@ GuidedSearcher::GuidedSearcher(const Graph& g, const PathLabeling& labeling,
     depth_[s].Resize(g.NumVertices(), kUnreachable);
     back_mark_[s].Resize(g.NumVertices(), 0);
   }
+  walk_mark_.assign(g.NumVertices(), 0);
+  walk_session_.Resize(labeling.num_landmarks(), 0);
 }
 
 GuidedSearcher::GuidedSearcher(const Graph& g, const Graph& sparsified,
@@ -52,12 +47,15 @@ GuidedSearcher::GuidedSearcher(const Graph& g, const Graph& sparsified,
     depth_[s].Resize(g.NumVertices(), kUnreachable);
     back_mark_[s].Resize(g.NumVertices(), 0);
   }
+  walk_mark_.assign(g.NumVertices(), 0);
+  walk_session_.Resize(labeling.num_landmarks(), 0);
 }
 
 ShortestPathGraph GuidedSearcher::Query(VertexId u, VertexId v,
                                         SearchStats* stats) {
   ComputeSketchInto(labeling_, meta_, u, v, &sketch_scratch_,
-                    &sketch_buffers_);
+                    &sketch_buffers_, /*with_meta_edges=*/false);
+  lazy_sketch_ = true;
   return QueryWithSketch(u, v, sketch_scratch_, stats);
 }
 
@@ -65,73 +63,76 @@ int GuidedSearcher::PickSide(const Sketch& sketch, const uint32_t d[2]) const {
   const bool want_u = sketch.d_star_u > d[0];
   const bool want_v = sketch.d_star_v > d[1];
   if (want_u != want_v) return want_u ? 0 : 1;
-  // Tie: expand the side that has traversed less so far.
-  size_t traversed[2] = {0, 0};
-  for (int s = 0; s < 2; ++s) {
-    for (size_t l = 0; l < num_levels_[s]; ++l) {
-      traversed[s] += levels_[s][l].size();
-    }
-  }
-  return traversed[0] <= traversed[1] ? 0 : 1;
+  // Tie: expand the side that has traversed less so far. Flat levels make
+  // this a buffer-length read instead of a per-level sum.
+  return levels_[0].TotalSize() <= levels_[1].TotalSize() ? 0 : 1;
 }
 
 void GuidedSearcher::ExpandLevel(int t, SearchStats* stats) {
   const int o = 1 - t;
-  const uint32_t next_depth = static_cast<uint32_t>(num_levels_[t]);
-  if (levels_[t].size() <= num_levels_[t]) {
-    levels_[t].emplace_back();
-  } else {
-    levels_[t][num_levels_[t]].clear();
-  }
-  std::vector<VertexId>& next = levels_[t][num_levels_[t]];
-  for (VertexId x : levels_[t][num_levels_[t] - 1]) {
+  const uint32_t next_depth = static_cast<uint32_t>(levels_[t].NumLevels());
+  // Open the next level first so the current level's bounds are frozen,
+  // then iterate by index: Push may reallocate the flat buffer.
+  levels_[t].BeginLevel();
+  crossing_[t].BeginLevel();  // pairs (x @ next_depth-1, w @ next_depth)
+  const size_t begin = levels_[t].LevelBegin(next_depth - 1);
+  const size_t end = levels_[t].LevelEnd(next_depth - 1);
+  for (size_t idx = begin; idx < end; ++idx) {
+    const VertexId x = levels_[t].At(idx);
     stats->edges_scanned_search += gminus_->Degree(x);
     stats->landmark_edges_skipped += g_.Degree(x) - gminus_->Degree(x);
     for (VertexId w : gminus_->Neighbors(x)) {
-      if (depth_[t].IsSet(w)) continue;
-      depth_[t].Set(w, next_depth);
-      next.push_back(w);
-      if (depth_[o].IsSet(w)) meet_set_.push_back(w);
-    }
-  }
-  ++num_levels_[t];
-}
-
-void GuidedSearcher::AddBackwardStart(int t, VertexId w) {
-  if (back_mark_[t].IsSet(w)) return;
-  back_mark_[t].Set(w, 1);
-  const uint32_t d = depth_[t].Get(w);
-  QBS_DCHECK(d != kUnreachable);
-  if (back_buckets_[t].size() <= d) back_buckets_[t].resize(d + 1);
-  for (size_t l = num_buckets_[t]; l <= d; ++l) back_buckets_[t][l].clear();
-  if (num_buckets_[t] <= d) num_buckets_[t] = d + 1;
-  back_buckets_[t][d].push_back(w);
-}
-
-void GuidedSearcher::RunBackwardWalk(int t, SearchStats* stats) {
-  auto& buckets = back_buckets_[t];
-  for (size_t level = num_buckets_[t]; level-- > 1;) {
-    // Iterate by index: lower buckets grow while we scan this one.
-    for (size_t i = 0; i < buckets[level].size(); ++i) {
-      const VertexId x = buckets[level][i];
-      stats->edges_scanned_reverse += gminus_->Degree(x);
-      for (VertexId y : gminus_->Neighbors(x)) {
-        if (depth_[t].Get(y) != level - 1) continue;
-        edges_.emplace_back(x, y);
-        AddBackwardStart(t, y);
+      if (!depth_[t].IsSet(w)) {
+        depth_[t].Set(w, next_depth);
+        levels_[t].Push(w);
+        crossing_[t].Push({x, w});
+        if (depth_[o].IsSet(w)) meet_set_.push_back(w);
+      } else if (depth_[t].Get(w) == next_depth) {
+        // w was already discovered on this level via another parent; the
+        // reverse search needs every parent edge.
+        crossing_[t].Push({x, w});
       }
     }
   }
 }
 
+void GuidedSearcher::AddBackwardStart(int t, VertexId w) {
+  if (back_mark_[t].IsSet(w)) return;
+  back_mark_[t].Set(w, 1);
+  QBS_DCHECK(depth_[t].Get(w) != kUnreachable);
+}
+
+void GuidedSearcher::RunBackwardWalk(int t, SearchStats* stats) {
+  // Replay the recorded crossing-edge lists from the deepest level down:
+  // an edge (x, w) with w marked on-path puts x on-path one level lower,
+  // so marks propagate ahead of the scan front.
+  auto& crossing = crossing_[t];
+  for (size_t level = crossing.NumLevels(); level-- > 0;) {
+    stats->edges_scanned_reverse += crossing.LevelSize(level);
+    for (const auto& [x, w] : crossing.Level(level)) {
+      if (!back_mark_[t].IsSet(w)) continue;
+      edges_.emplace_back(w, x);
+      back_mark_[t].Set(x, 1);
+    }
+  }
+}
+
+uint64_t GuidedSearcher::WalkSerial(LandmarkIndex r) {
+  if (!walk_session_.IsSet(r)) walk_session_.Set(r, ++walk_serial_);
+  return walk_session_.Get(r);
+}
+
 void GuidedSearcher::LabelWalk(VertexId w, LandmarkIndex r,
                                SearchStats* stats) {
-  if (!walk_mark_.insert(WalkKey(r, w)).second) return;
+  const uint64_t serial = WalkSerial(r);
+  if (walk_mark_[w] == serial) return;
+  walk_mark_[w] = serial;
   const VertexId target = labeling_.LandmarkVertex(r);
-  std::vector<VertexId> stack{w};
-  while (!stack.empty()) {
-    const VertexId x = stack.back();
-    stack.pop_back();
+  walk_stack_.clear();
+  walk_stack_.push_back(w);
+  while (!walk_stack_.empty()) {
+    const VertexId x = walk_stack_.back();
+    walk_stack_.pop_back();
     const DistT dx = labeling_.Get(x, r);
     QBS_DCHECK(dx != kInfDist && dx > 0);
     if (dx == 1) {
@@ -142,7 +143,10 @@ void GuidedSearcher::LabelWalk(VertexId w, LandmarkIndex r,
     for (VertexId y : gminus_->Neighbors(x)) {
       if (labeling_.Get(y, r) != dx - 1) continue;
       edges_.emplace_back(x, y);
-      if (walk_mark_.insert(WalkKey(r, y)).second) stack.push_back(y);
+      if (walk_mark_[y] != serial) {
+        walk_mark_[y] = serial;
+        walk_stack_.push_back(y);
+      }
     }
   }
 }
@@ -152,6 +156,8 @@ ShortestPathGraph GuidedSearcher::QueryWithSketch(VertexId u, VertexId v,
                                                   SearchStats* stats) {
   QBS_CHECK_LT(u, g_.NumVertices());
   QBS_CHECK_LT(v, g_.NumVertices());
+  const bool lazy_sketch = lazy_sketch_;
+  lazy_sketch_ = false;
   SearchStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   stats->d_top = sketch.d_top;
@@ -169,23 +175,21 @@ ShortestPathGraph GuidedSearcher::QueryWithSketch(VertexId u, VertexId v,
   for (int s = 0; s < 2; ++s) {
     depth_[s].Reset();
     back_mark_[s].Reset();
-    num_levels_[s] = 0;
-    num_buckets_[s] = 0;
+    levels_[s].Clear();
+    crossing_[s].Clear();
   }
   meet_set_.clear();
-  walk_mark_.clear();
+  walk_session_.Reset();
   edges_.clear();
 
   const bool u_lm = labeling_.IsLandmark(u);
   const bool v_lm = labeling_.IsLandmark(v);
   const VertexId endpoint[2] = {u, v};
   for (int s = 0; s < 2; ++s) {
-    if (levels_[s].empty()) levels_[s].emplace_back();
-    levels_[s][0].clear();
-    num_levels_[s] = 1;
+    levels_[s].BeginLevel();
     if (!labeling_.IsLandmark(endpoint[s])) {
       depth_[s].Set(endpoint[s], 0);
-      levels_[s][0].push_back(endpoint[s]);
+      levels_[s].Push(endpoint[s]);
     }
   }
 
@@ -198,7 +202,7 @@ ShortestPathGraph GuidedSearcher::QueryWithSketch(VertexId u, VertexId v,
   if (!u_lm && !v_lm) {
     const bool bounded = sketch.d_top != kUnreachable;
     while (!bounded || d[0] + d[1] < sketch.d_top) {
-      if (levels_[0][d[0]].empty() || levels_[1][d[1]].empty()) {
+      if (levels_[0].LevelSize(d[0]) == 0 || levels_[1].LevelSize(d[1]) == 0) {
         break;  // G⁻ exhausted on one side: d_G⁻(u, v) = ∞.
       }
       const int t = PickSide(sketch, d);
@@ -240,7 +244,12 @@ ShortestPathGraph GuidedSearcher::QueryWithSketch(VertexId u, VertexId v,
 
   // Stage 3: recover search (G^L_uv) — runs iff d⊤ realizes the distance.
   if (sketch.d_top == result.distance) {
-    // (a) Landmark-to-landmark segments for every sketch meta-edge.
+    // (a) Landmark-to-landmark segments for every sketch meta-edge. A
+    // deferred sweep is completed here, now that the recover search is
+    // known to run (`sketch` aliases sketch_scratch_ on this path).
+    if (lazy_sketch) {
+      ComputeSketchMetaEdges(meta_, &sketch_scratch_, &sketch_buffers_);
+    }
     for (const MetaEdge& e : sketch.meta_edges) {
       const std::vector<Edge>* cached =
           delta_ != nullptr ? delta_->Lookup(e.a, e.b) : nullptr;
@@ -264,8 +273,8 @@ ShortestPathGraph GuidedSearcher::QueryWithSketch(VertexId u, VertexId v,
         if (anchor.delta == 0) continue;  // endpoint is the landmark itself
         const uint32_t sigma = anchor.delta;
         const uint32_t dm = std::min(sigma - 1, d[t]);
-        QBS_DCHECK(dm < levels_[t].size());
-        for (const VertexId w : levels_[t][dm]) {
+        QBS_DCHECK(dm < levels_[t].NumLevels());
+        for (const VertexId w : levels_[t].Level(dm)) {
           const DistT dwr = labeling_.Get(w, anchor.landmark);
           if (dwr == kInfDist || dwr + dm != sigma) continue;
           LabelWalk(w, anchor.landmark, stats);
@@ -282,8 +291,9 @@ ShortestPathGraph GuidedSearcher::QueryWithSketch(VertexId u, VertexId v,
   RunBackwardWalk(0, stats);
   RunBackwardWalk(1, stats);
 
-  result.edges = std::move(edges_);
-  edges_ = {};
+  // Copy (not move) so edges_ keeps its high-water capacity across queries;
+  // the copy is one exact-sized allocation instead of the regrowth churn.
+  result.edges.assign(edges_.begin(), edges_.end());
   result.Normalize();
   return result;
 }

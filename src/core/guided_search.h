@@ -16,7 +16,7 @@
 #define QBS_CORE_GUIDED_SEARCH_H_
 
 #include <cstdint>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/delta_cache.h"
@@ -24,6 +24,7 @@
 #include "core/meta_graph.h"
 #include "core/search_stats.h"
 #include "core/sketch.h"
+#include "graph/frontier.h"
 #include "graph/graph.h"
 #include "graph/spg.h"
 #include "util/epoch_array.h"
@@ -68,8 +69,12 @@ class GuidedSearcher {
   // breaking ties toward the smaller traversed set.
   int PickSide(const Sketch& sketch, const uint32_t d[2]) const;
 
-  // Registers `w` as a start of the backward walk on side t.
+  // Marks `w` as on-path: a start of the backward walk on side t.
   void AddBackwardStart(int t, VertexId w);
+
+  // Serial identifying the current query's walk session for landmark r;
+  // walk-mark slots holding it are "visited for r in this query".
+  uint64_t WalkSerial(LandmarkIndex r);
 
   // Emits all edges of all shortest chains from the registered start
   // vertices back to the side-t endpoint, following depth_[t] levels
@@ -87,21 +92,36 @@ class GuidedSearcher {
   const MetaGraph& meta_;
   const DeltaCache* delta_;
 
-  // Per-query scratch (epoch-reset).
+  // Per-query scratch (epoch-reset). All traversal state lives in flat
+  // reusable buffers from the shared substrate (graph/frontier.h): BFS
+  // levels are contiguous spans of one buffer per side, the reverse search
+  // walks (depth, vertex) start pairs through two flat buffers, and the
+  // recover-search visited set is a serial-stamped array — no per-query
+  // allocation and no hashing on the query hot path.
   EpochArray<uint32_t> depth_[2];
   EpochArray<uint8_t> back_mark_[2];
-  // Level and bucket vectors are high-water-marked and reused across
-  // queries to avoid per-query allocation churn (queries on complex
-  // networks touch few levels, so this is the dominant constant factor).
-  std::vector<std::vector<VertexId>> levels_[2];        // BFS levels
-  size_t num_levels_[2] = {0, 0};
-  std::vector<std::vector<VertexId>> back_buckets_[2];  // by depth
-  size_t num_buckets_[2] = {0, 0};
+  LevelStack levels_[2];  // flat BFS levels per side
+  // Level-crossing edges (x at level L, w at level L+1), recorded while the
+  // forward expansion scans them anyway. The reverse search then replays
+  // these lists downward instead of re-scanning walk-vertex adjacencies
+  // with random depth lookups: every parent of an on-path vertex is here.
+  LevelBuffer<std::pair<VertexId, VertexId>> crossing_[2];
   std::vector<VertexId> meet_set_;
-  std::unordered_set<uint64_t> walk_mark_;  // (landmark, vertex) visited
-  std::vector<Edge> edges_;                 // accumulating answer
+  // (landmark, vertex) visited marks for label walks: walk_mark_[v] holds
+  // the serial of the last walk session that visited v; sessions are
+  // per-(query, landmark) via walk_session_, so clearing is O(1) per query
+  // and marks persist across the u-side and v-side walks of one landmark.
+  std::vector<uint64_t> walk_mark_;
+  EpochArray<uint64_t> walk_session_;  // landmark -> session serial
+  uint64_t walk_serial_ = 0;
+  std::vector<VertexId> walk_stack_;  // LabelWalk DFS stack
+  std::vector<Edge> edges_;  // accumulating answer
   Sketch sketch_scratch_;
   SketchScratch sketch_buffers_;
+  // True while sketch_scratch_ holds a sketch whose meta-edge sweep was
+  // deferred; QueryWithSketch then completes it only if the recover search
+  // actually runs (most queries never read the meta-edges).
+  bool lazy_sketch_ = false;
 };
 
 // Materializes the sparsified graph G[V \ R]: same vertex ids, only the

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "graph/bfs.h"
+#include "graph/frontier.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -12,35 +13,60 @@ namespace {
 
 // Per-worker scratch reused across the BFSs this worker runs.
 struct BfsScratch {
-  std::vector<uint32_t> depth;      // kUnreachable = unvisited
-  std::vector<VertexId> touched;    // vertices whose depth was set
+  std::vector<uint32_t> depth;  // kUnreachable = unvisited
   // Level queues: vertices to be labelled (QL) / not labelled (QN).
   std::vector<VertexId> cur_l, cur_n, next_l, next_n;
-
-  void Init(VertexId n) { depth.assign(n, kUnreachable); }
-
-  void ResetTouched() {
-    for (VertexId v : touched) depth[v] = kUnreachable;
-    touched.clear();
-  }
+  // Frontier membership bitmaps, rebuilt only for bottom-up levels.
+  Bitmap bits_l, bits_n;
+  DirOptPolicy policy;
 };
 
+// Classifies and enqueues the vertex v, newly reached at `next_depth`.
+// `via_l` says whether some shortest predecessor is in QL: vertices first
+// reached from a QL vertex have a shortest path from the root avoiding
+// other landmarks, so non-landmarks get a label (written into this BFS's
+// own column `col`) and join QL while landmarks produce a meta-edge and
+// join QN. Vertices reached only from QN join QN silently.
+inline void Settle(VertexId v, bool via_l, uint32_t next_depth,
+                   const PathLabeling& labeling, LandmarkIndex i, DistT* col,
+                   std::vector<MetaEdge>* meta_edges, BfsScratch* s) {
+  s->depth[v] = next_depth;
+  if (!via_l) {
+    s->next_n.push_back(v);
+    return;
+  }
+  const int32_t rank = labeling.LandmarkRank(v);
+  if (rank >= 0) {
+    s->next_n.push_back(v);
+    meta_edges->push_back(
+        MetaEdge{i, static_cast<LandmarkIndex>(rank), next_depth});
+  } else {
+    s->next_l.push_back(v);
+    col[v] = static_cast<DistT>(next_depth);
+  }
+}
+
 // Algorithm 2, one landmark: a level-synchronous BFS from landmarks[i] with
-// two queues. Vertices first reached from a QL vertex have a shortest path
-// from the root avoiding other landmarks: non-landmarks get a label and
-// join QL; landmarks produce a meta-edge and join QN. Vertices first
-// reached from QN join QN silently. QL is expanded before QN at each level,
-// so a vertex reachable both ways at the same depth is classified QL.
+// two queues (QL / QN) on the shared frontier substrate. QL classification
+// takes priority: a vertex reachable both ways at the same depth counts as
+// QL. Dense middle levels run bottom-up (every unvisited vertex scans its
+// neighbourhood for a QL parent first, then a QN parent), which preserves
+// the priority rule and cuts the per-landmark full-graph sweep — the
+// construction-time hot path (Fig. 10) — to a fraction of its edges.
 void LabelFromLandmark(const Graph& g, const PathLabeling& labeling,
-                       LandmarkIndex i, PathLabeling* out,
+                       LandmarkIndex i, DistT* col,
                        std::vector<MetaEdge>* meta_edges, BfsScratch* s) {
   const VertexId root = labeling.LandmarkVertex(i);
-  s->ResetTouched();
+  const VertexId n = g.NumVertices();
+  s->depth.assign(n, kUnreachable);
   s->cur_l.clear();
   s->cur_n.clear();
   s->depth[root] = 0;
-  s->touched.push_back(root);
   s->cur_l.push_back(root);
+
+  uint64_t edges_remaining = 2 * g.NumEdges();
+  uint64_t scout_count = g.Degree(root);
+  bool bottom_up = false;
 
   uint32_t level = 0;
   while (!s->cur_l.empty() || !s->cur_n.empty()) {
@@ -48,28 +74,55 @@ void LabelFromLandmark(const Graph& g, const PathLabeling& labeling,
     s->next_n.clear();
     const uint32_t next_depth = level + 1;
     QBS_CHECK_LT(next_depth, static_cast<uint32_t>(kInfDist));
-    for (VertexId u : s->cur_l) {
-      for (VertexId v : g.Neighbors(u)) {
+
+    if (!bottom_up && scout_count > edges_remaining / s->policy.alpha) {
+      bottom_up = true;
+    } else if (bottom_up &&
+               s->cur_l.size() + s->cur_n.size() < n / s->policy.beta) {
+      bottom_up = false;
+    }
+    edges_remaining -= scout_count;
+    scout_count = 0;
+
+    if (bottom_up) {
+      s->bits_l.Resize(n);
+      s->bits_n.Resize(n);
+      for (VertexId x : s->cur_l) s->bits_l.Set(x);
+      for (VertexId x : s->cur_n) s->bits_n.Set(x);
+      for (VertexId v = 0; v < n; ++v) {
         if (s->depth[v] != kUnreachable) continue;
-        s->depth[v] = next_depth;
-        s->touched.push_back(v);
-        const int32_t rank = labeling.LandmarkRank(v);
-        if (rank >= 0) {
-          s->next_n.push_back(v);
-          meta_edges->push_back(
-              MetaEdge{i, static_cast<LandmarkIndex>(rank), next_depth});
-        } else {
-          s->next_l.push_back(v);
-          out->Set(v, i, static_cast<DistT>(next_depth));
+        // Scan for a QL parent (which wins) before accepting a QN parent.
+        bool via_l = false;
+        bool via_n = false;
+        for (VertexId w : g.Neighbors(v)) {
+          if (s->bits_l.Test(w)) {
+            via_l = true;
+            break;
+          }
+          via_n |= s->bits_n.Test(w);
+        }
+        if (!via_l && !via_n) continue;
+        Settle(v, via_l, next_depth, labeling, i, col, meta_edges, s);
+        scout_count += g.Degree(v);
+      }
+    } else {
+      // QL is expanded before QN at each level, so a vertex reachable both
+      // ways at the same depth is classified QL.
+      for (VertexId u : s->cur_l) {
+        for (VertexId v : g.Neighbors(u)) {
+          if (s->depth[v] != kUnreachable) continue;
+          Settle(v, /*via_l=*/true, next_depth, labeling, i, col, meta_edges,
+                 s);
+          scout_count += g.Degree(v);
         }
       }
-    }
-    for (VertexId u : s->cur_n) {
-      for (VertexId v : g.Neighbors(u)) {
-        if (s->depth[v] != kUnreachable) continue;
-        s->depth[v] = next_depth;
-        s->touched.push_back(v);
-        s->next_n.push_back(v);
+      for (VertexId u : s->cur_n) {
+        for (VertexId v : g.Neighbors(u)) {
+          if (s->depth[v] != kUnreachable) continue;
+          Settle(v, /*via_l=*/false, next_depth, labeling, i, col, meta_edges,
+                 s);
+          scout_count += g.Degree(v);
+        }
       }
     }
     std::swap(s->cur_l, s->next_l);
@@ -101,6 +154,27 @@ uint64_t PathLabeling::NumEntries() const {
   return count;
 }
 
+void PathLabeling::AssignFromColumns(const std::vector<DistT>& cols) {
+  const size_t n = num_vertices_;
+  const size_t k = landmarks_.size();
+  QBS_CHECK_EQ(cols.size(), n * k);
+  // Blocked transpose: a 64x64 tile of DistT spans 8KB on each side, so
+  // both the column-major source tile and the vertex-major target tile stay
+  // cache-resident.
+  constexpr size_t kTile = 64;
+  for (size_t v0 = 0; v0 < n; v0 += kTile) {
+    const size_t v1 = std::min(v0 + kTile, n);
+    for (size_t i0 = 0; i0 < k; i0 += kTile) {
+      const size_t i1 = std::min(i0 + kTile, k);
+      for (size_t v = v0; v < v1; ++v) {
+        for (size_t i = i0; i < i1; ++i) {
+          dist_[v * k + i] = cols[i * n + v];
+        }
+      }
+    }
+  }
+}
+
 LabelingScheme BuildLabelingScheme(const Graph& g,
                                    const std::vector<VertexId>& landmarks,
                                    const LabelingBuildOptions& options) {
@@ -113,17 +187,22 @@ LabelingScheme BuildLabelingScheme(const Graph& g,
     return scheme;
   }
 
-  // One BFS per landmark. Label-matrix columns are disjoint across BFSs and
-  // meta-edge lists are per-landmark, so workers never contend.
-  const size_t workers = std::min<size_t>(EffectiveThreads(options.num_threads), k);
+  // One BFS per landmark. Each BFS streams labels into its own
+  // landmark-major column and meta-edge lists are per-landmark, so workers
+  // never contend; a single blocked transpose then fills the vertex-major
+  // query matrix.
+  const size_t workers =
+      std::min<size_t>(EffectiveThreads(options.num_threads), k);
   std::vector<BfsScratch> scratch(workers);
-  for (auto& s : scratch) s.Init(g.NumVertices());
   std::vector<std::vector<MetaEdge>> local_meta(k);
+  std::vector<DistT> cols(static_cast<size_t>(g.NumVertices()) * k, kInfDist);
 
   ParallelFor(k, workers, [&](size_t i, size_t worker) {
     LabelFromLandmark(g, scheme.labeling, static_cast<LandmarkIndex>(i),
-                      &scheme.labeling, &local_meta[i], &scratch[worker]);
+                      cols.data() + i * static_cast<size_t>(g.NumVertices()),
+                      &local_meta[i], &scratch[worker]);
   });
+  scheme.labeling.AssignFromColumns(cols);
 
   // Each meta-edge is discovered from both endpoints (the existence
   // condition is symmetric); keep one copy and let AddEdge cross-check the

@@ -55,6 +55,13 @@ class PathLabeling {
   // Number of finite labelling entries: size(L) = Σ_v |L(v)| (§2).
   uint64_t NumEntries() const;
 
+  // Bulk-fills the matrix from a landmark-major buffer (cols[i * |V| + v]).
+  // Construction writes labels column-wise — each landmark BFS streams its
+  // own |V|-sized column sequentially — and transposes once at the end,
+  // instead of scattering one cache line per labelled vertex across the
+  // whole vertex-major matrix on every BFS.
+  void AssignFromColumns(const std::vector<DistT>& cols);
+
   // Bytes of the dense label matrix, the quantity Table 3 reports as
   // size(L) (the paper stores |R| fixed-width slots per vertex, as we do).
   uint64_t SizeBytes() const { return dist_.size() * sizeof(DistT); }

@@ -88,22 +88,46 @@ ShortestPathGraph QbsIndex::Query(VertexId u, VertexId v,
 
 std::vector<ShortestPathGraph> QbsIndex::QueryBatch(
     const std::vector<std::pair<VertexId, VertexId>>& pairs,
-    size_t num_threads) {
+    const BatchOptions& options) {
   std::vector<ShortestPathGraph> results(pairs.size());
-  const size_t workers = std::min(EffectiveThreads(num_threads),
+  const size_t workers = std::min(EffectiveThreads(options.num_threads),
                                   std::max<size_t>(pairs.size(), 1));
-  // One searcher per worker; all share the labelling, meta-graph, D cache,
-  // and the materialized sparsified graph (read-only).
+  // One searcher per worker, checked out of the persistent pool (topped up
+  // to `workers` if needed); all share the labelling, meta-graph, D cache,
+  // and the materialized sparsified graph (read-only). Checking out keeps
+  // concurrent QueryBatch calls from ever sharing a searcher.
   std::vector<std::unique_ptr<GuidedSearcher>> searchers;
   searchers.reserve(workers);
-  for (size_t w = 0; w < workers; ++w) {
+  {
+    std::lock_guard<std::mutex> lock(*batch_searchers_mu_);
+    while (!batch_searchers_.empty() && searchers.size() < workers) {
+      searchers.push_back(std::move(batch_searchers_.back()));
+      batch_searchers_.pop_back();
+    }
+  }
+  while (searchers.size() < workers) {
     searchers.push_back(std::make_unique<GuidedSearcher>(
         *g_, *sparsified_, scheme_->labeling, scheme_->meta, delta_.get()));
   }
-  ParallelFor(pairs.size(), workers, [&](size_t i, size_t worker) {
+  ParallelForOptions pf;
+  pf.num_threads = workers;
+  pf.grain = options.grain;
+  ParallelFor(pairs.size(), pf, [&](size_t i, size_t worker) {
     results[i] = searchers[worker]->Query(pairs[i].first, pairs[i].second);
   });
+  {
+    std::lock_guard<std::mutex> lock(*batch_searchers_mu_);
+    for (auto& s : searchers) batch_searchers_.push_back(std::move(s));
+  }
   return results;
+}
+
+std::vector<ShortestPathGraph> QbsIndex::QueryBatch(
+    const std::vector<std::pair<VertexId, VertexId>>& pairs,
+    size_t num_threads) {
+  BatchOptions options;
+  options.num_threads = num_threads;
+  return QueryBatch(pairs, options);
 }
 
 uint32_t QbsIndex::DistanceUpperBound(VertexId u, VertexId v) const {

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -80,14 +81,33 @@ class QbsIndex {
   QbsIndex(QbsIndex&&) = default;
   QbsIndex& operator=(QbsIndex&&) = default;
 
-  // Answers SPG(u, v) exactly. Non-const: reuses per-index search scratch;
-  // use QueryBatch (or one GuidedSearcher per thread) for concurrent reads.
+  // Answers SPG(u, v) exactly. Non-const: reuses the index's single
+  // searcher scratch, so serialize calls to Query(); for concurrent reads
+  // use QueryBatch (which checks searchers out of a locked pool).
   ShortestPathGraph Query(VertexId u, VertexId v,
                           SearchStats* stats = nullptr);
 
-  // Answers many queries in parallel (num_threads = 0 means all hardware
-  // threads). Workers share the index's read-only state and the
-  // materialized sparsified graph; results align with `pairs`.
+  // Tuning knobs for QueryBatch.
+  struct BatchOptions {
+    // 0 = all hardware threads.
+    size_t num_threads = 0;
+    // Queries handed to a worker per grab from the shared cursor (the
+    // ParallelFor grain); 0 picks pairs/(threads*8). Smaller values
+    // rebalance skewed query costs better.
+    size_t grain = 0;
+  };
+
+  // Answers many queries in parallel. Workers share the index's read-only
+  // state and the materialized sparsified graph, and draw searchers from a
+  // persistent pool (grown on first use, reused across batches); results
+  // align with `pairs`. Safe to call concurrently with other QueryBatch
+  // calls on the same index (each call checks searchers out of the pool
+  // under a lock), but not with the single-searcher Query().
+  std::vector<ShortestPathGraph> QueryBatch(
+      const std::vector<std::pair<VertexId, VertexId>>& pairs,
+      const BatchOptions& options);
+
+  // Back-compat convenience: QueryBatch with the default grain.
   std::vector<ShortestPathGraph> QueryBatch(
       const std::vector<std::pair<VertexId, VertexId>>& pairs,
       size_t num_threads = 0);
@@ -124,6 +144,13 @@ class QbsIndex {
   std::unique_ptr<Graph> sparsified_;  // shared G⁻ for all searchers
   std::unique_ptr<DeltaCache> delta_;
   std::unique_ptr<GuidedSearcher> searcher_;
+  // Idle searchers for QueryBatch, grown on demand and reused across
+  // batches (a searcher holds O(|V|) scratch; rebuilding per batch would
+  // dominate small batches). Each call checks out what it needs under the
+  // mutex, so concurrent QueryBatch calls never share a searcher.
+  std::unique_ptr<std::mutex> batch_searchers_mu_ =
+      std::make_unique<std::mutex>();
+  std::vector<std::unique_ptr<GuidedSearcher>> batch_searchers_;
   QbsBuildTimings timings_;
 };
 

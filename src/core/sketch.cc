@@ -42,7 +42,7 @@ Sketch ComputeSketch(const PathLabeling& labeling, const MetaGraph& meta,
 
 void ComputeSketchInto(const PathLabeling& labeling, const MetaGraph& meta,
                        VertexId u, VertexId v, Sketch* sketch,
-                       SketchScratch* scratch) {
+                       SketchScratch* scratch, bool with_meta_edges) {
   QBS_DCHECK(meta.finalized());
   sketch->d_top = kUnreachable;
   sketch->u_anchors.clear();
@@ -85,19 +85,9 @@ void ComputeSketchInto(const PathLabeling& labeling, const MetaGraph& meta,
   dedupe(sketch->u_anchors);
   dedupe(sketch->v_anchors);
 
-  // Pass 3: one sweep over the meta-edges, testing membership in any
-  // minimizing pair's shortest meta-path graph.
-  const auto& edges = meta.Edges();
-  scratch->meta_edge_used.assign(edges.size(), 0);
-  for (size_t e = 0; e < edges.size(); ++e) {
-    for (const auto& [r, r2] : scratch->min_pairs) {
-      if (meta.EdgeOnShortestPath(edges[e], r, r2)) {
-        scratch->meta_edge_used[e] = 1;
-        sketch->meta_edges.push_back(edges[e]);
-        break;
-      }
-    }
-  }
+  // Pass 3: the meta-edge sweep, skippable for callers that only need it
+  // on the recover path.
+  if (with_meta_edges) ComputeSketchMetaEdges(meta, sketch, scratch);
 
   // Eq. 4: d*_t = max σ_S(r, t) − 1, clamped at 0 (a landmark endpoint has
   // the single anchor σ = 0 and needs no sparsified-graph search).
@@ -109,6 +99,24 @@ void ComputeSketchInto(const PathLabeling& labeling, const MetaGraph& meta,
   for (const SketchAnchor& b : sketch->v_anchors) {
     if (b.delta > 0) {
       sketch->d_star_v = std::max<uint32_t>(sketch->d_star_v, b.delta - 1u);
+    }
+  }
+}
+
+void ComputeSketchMetaEdges(const MetaGraph& meta, Sketch* sketch,
+                            SketchScratch* scratch) {
+  // One sweep over the meta-edges, testing membership in any minimizing
+  // pair's shortest meta-path graph.
+  sketch->meta_edges.clear();
+  const auto& edges = meta.Edges();
+  scratch->meta_edge_used.assign(edges.size(), 0);
+  for (size_t e = 0; e < edges.size(); ++e) {
+    for (const auto& [r, r2] : scratch->min_pairs) {
+      if (meta.EdgeOnShortestPath(edges[e], r, r2)) {
+        scratch->meta_edge_used[e] = 1;
+        sketch->meta_edges.push_back(edges[e]);
+        break;
+      }
     }
   }
 }

@@ -71,9 +71,20 @@ Sketch ComputeSketch(const PathLabeling& labeling, const MetaGraph& meta,
                      VertexId u, VertexId v);
 
 // Allocation-free variant: clears and refills *sketch using *scratch.
+// With with_meta_edges = false, the meta-edge sweep (the O(|E_M| · pairs)
+// part) is skipped and sketch->meta_edges stays empty; call
+// ComputeSketchMetaEdges later to fill it. The guided search defers the
+// sweep this way because most queries resolve entirely inside the
+// sparsified graph and never read the meta-edges.
 void ComputeSketchInto(const PathLabeling& labeling, const MetaGraph& meta,
                        VertexId u, VertexId v, Sketch* sketch,
-                       SketchScratch* scratch);
+                       SketchScratch* scratch, bool with_meta_edges = true);
+
+// Runs the deferred meta-edge sweep for a sketch produced by
+// ComputeSketchInto(..., /*with_meta_edges=*/false) with the same scratch
+// (which still holds the minimizing pairs).
+void ComputeSketchMetaEdges(const MetaGraph& meta, Sketch* sketch,
+                            SketchScratch* scratch);
 
 // The label entries of `t` as sketch-anchor candidates: its stored label,
 // or {(rank(t), 0)} if t is a landmark.

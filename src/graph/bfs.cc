@@ -2,9 +2,35 @@
 
 #include <algorithm>
 
+#include "graph/frontier.h"
 #include "util/check.h"
+#include "util/epoch_array.h"
 
 namespace qbs {
+namespace {
+
+// Per-thread traversal scratch reused by the free-function wrappers, so
+// tight loops of full-graph BFSs (oracle queries, eccentricity sweeps) pay
+// no per-call frontier allocation.
+FrontierEngine& ThreadEngine() {
+  static thread_local FrontierEngine engine;
+  return engine;
+}
+
+// Scratch for BiBfsDistance: epoch-reset depth maps plus flat frontier
+// buffers, so repeated point-to-point probes (the Fig. 7 workload tooling)
+// touch O(traversed) state per call instead of O(|V|).
+struct BiBfsScratch {
+  EpochArray<uint32_t> depth[2];
+  std::vector<VertexId> frontier[2], next;
+};
+
+BiBfsScratch& ThreadBiBfsScratch() {
+  static thread_local BiBfsScratch scratch;
+  return scratch;
+}
+
+}  // namespace
 
 std::vector<uint32_t> BfsDistances(const Graph& g, VertexId source) {
   return BfsDistancesBounded(g, source, kUnreachable - 1);
@@ -12,24 +38,8 @@ std::vector<uint32_t> BfsDistances(const Graph& g, VertexId source) {
 
 std::vector<uint32_t> BfsDistancesBounded(const Graph& g, VertexId source,
                                           uint32_t max_depth) {
-  QBS_CHECK_LT(source, g.NumVertices());
-  std::vector<uint32_t> dist(g.NumVertices(), kUnreachable);
-  std::vector<VertexId> queue;
-  queue.reserve(256);
-  dist[source] = 0;
-  queue.push_back(source);
-  size_t head = 0;
-  while (head < queue.size()) {
-    const VertexId u = queue[head++];
-    const uint32_t du = dist[u];
-    if (du >= max_depth) continue;
-    for (VertexId w : g.Neighbors(u)) {
-      if (dist[w] == kUnreachable) {
-        dist[w] = du + 1;
-        queue.push_back(w);
-      }
-    }
-  }
+  std::vector<uint32_t> dist;
+  ThreadEngine().Distances(g, source, max_depth, &dist);
   return dist;
 }
 
@@ -38,44 +48,52 @@ uint32_t BiBfsDistance(const Graph& g, VertexId u, VertexId v) {
   QBS_CHECK_LT(v, g.NumVertices());
   if (u == v) return 0;
 
-  // side 0 = from u, side 1 = from v.
-  std::vector<uint32_t> dist[2] = {
-      std::vector<uint32_t>(g.NumVertices(), kUnreachable),
-      std::vector<uint32_t>(g.NumVertices(), kUnreachable)};
-  std::vector<VertexId> frontier[2] = {{u}, {v}};
-  dist[0][u] = 0;
-  dist[1][v] = 0;
-  uint32_t depth[2] = {0, 0};
-
-  while (!frontier[0].empty() && !frontier[1].empty()) {
-    // Expand the side whose frontier has the smaller total degree.
-    uint64_t vol[2] = {0, 0};
-    for (int s = 0; s < 2; ++s) {
-      for (VertexId x : frontier[s]) vol[s] += g.Degree(x);
+  BiBfsScratch& s = ThreadBiBfsScratch();
+  for (int side = 0; side < 2; ++side) {
+    if (s.depth[side].size() != g.NumVertices()) {
+      s.depth[side].Resize(g.NumVertices(), kUnreachable);
+    } else {
+      s.depth[side].Reset();
     }
-    const int s = vol[0] <= vol[1] ? 0 : 1;
-    const int o = 1 - s;
+    s.frontier[side].clear();
+  }
+
+  // side 0 = from u, side 1 = from v.
+  s.depth[0].Set(u, 0);
+  s.depth[1].Set(v, 0);
+  s.frontier[0].push_back(u);
+  s.frontier[1].push_back(v);
+  uint32_t depth[2] = {0, 0};
+  uint64_t vol[2] = {g.Degree(u), g.Degree(v)};
+
+  while (!s.frontier[0].empty() && !s.frontier[1].empty()) {
+    // Expand the side whose frontier has the smaller total degree.
+    const int t = vol[0] <= vol[1] ? 0 : 1;
+    const int o = 1 - t;
 
     // Scan the whole level before concluding: the first crossing edge found
     // is not necessarily on a shortest path, but the minimum over the level
-    // is (any path of length <= depth[s]+1+depth[o] crosses from this
+    // is (any path of length <= depth[t]+1+depth[o] crosses from this
     // frontier into a vertex already settled by the other side).
     uint32_t best = kUnreachable;
-    std::vector<VertexId> next;
-    for (VertexId x : frontier[s]) {
+    s.next.clear();
+    uint64_t next_vol = 0;
+    for (VertexId x : s.frontier[t]) {
       for (VertexId w : g.Neighbors(x)) {
-        if (dist[o][w] != kUnreachable) {
-          best = std::min(best, depth[s] + 1 + dist[o][w]);
+        if (s.depth[o].IsSet(w)) {
+          best = std::min(best, depth[t] + 1 + s.depth[o].Get(w));
         }
-        if (dist[s][w] == kUnreachable) {
-          dist[s][w] = depth[s] + 1;
-          next.push_back(w);
+        if (!s.depth[t].IsSet(w)) {
+          s.depth[t].Set(w, depth[t] + 1);
+          s.next.push_back(w);
+          next_vol += g.Degree(w);
         }
       }
     }
     if (best != kUnreachable) return best;
-    ++depth[s];
-    frontier[s] = std::move(next);
+    ++depth[t];
+    vol[t] = next_vol;
+    std::swap(s.frontier[t], s.next);
   }
   return kUnreachable;
 }

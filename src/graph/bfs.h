@@ -1,5 +1,10 @@
 // Breadth-first search primitives shared by indexes, baselines, and the
 // workload tooling.
+//
+// The single-source functions run on the direction-optimizing frontier
+// engine (graph/frontier.h) with per-thread scratch; callers that want to
+// control the traversal mode or reuse buffers explicitly should hold a
+// FrontierEngine themselves.
 
 #ifndef QBS_GRAPH_BFS_H_
 #define QBS_GRAPH_BFS_H_

@@ -1,0 +1,83 @@
+#include "graph/frontier.h"
+
+#include "util/check.h"
+
+namespace qbs {
+
+void FrontierEngine::Distances(const Graph& g, VertexId source,
+                               uint32_t max_depth,
+                               std::vector<uint32_t>* dist,
+                               TraversalMode mode) {
+  QBS_CHECK_LT(source, g.NumVertices());
+  const size_t n = g.NumVertices();
+  dist->assign(n, kUnreachable);
+  stats_ = FrontierStats{};
+
+  cur_.clear();
+  next_.clear();
+  cur_.push_back(source);
+  (*dist)[source] = 0;
+
+  // Directed edge endpoints not yet claimed by the traversal; the alpha
+  // heuristic compares the frontier's outgoing volume against it.
+  uint64_t edges_remaining = 2 * g.NumEdges();
+  uint64_t scout_count = g.Degree(source);
+  bool bottom_up = false;
+
+  uint32_t depth = 0;
+  while (!cur_.empty() && depth < max_depth) {
+    const uint32_t next_depth = depth + 1;
+    next_.clear();
+
+    if (mode == TraversalMode::kAuto) {
+      if (!bottom_up && scout_count > edges_remaining / policy_.alpha) {
+        bottom_up = true;
+      } else if (bottom_up && cur_.size() < n / policy_.beta) {
+        bottom_up = false;
+      }
+    } else {
+      bottom_up = mode == TraversalMode::kBottomUp;
+    }
+
+    edges_remaining -= scout_count;
+    scout_count = 0;
+
+    if (bottom_up) {
+      // Pull: every unvisited vertex looks for a parent on the frontier and
+      // stops at the first hit.
+      front_bits_.Resize(n);
+      for (VertexId x : cur_) front_bits_.Set(x);
+      for (VertexId v = 0; v < n; ++v) {
+        if ((*dist)[v] != kUnreachable) continue;
+        for (VertexId w : g.Neighbors(v)) {
+          ++stats_.edges_scanned;
+          if (front_bits_.Test(w)) {
+            (*dist)[v] = next_depth;
+            next_.push_back(v);
+            scout_count += g.Degree(v);
+            break;
+          }
+        }
+      }
+      ++stats_.bottom_up_levels;
+    } else {
+      // Push: expand the frontier's adjacency.
+      for (VertexId x : cur_) {
+        stats_.edges_scanned += g.Degree(x);
+        for (VertexId w : g.Neighbors(x)) {
+          if ((*dist)[w] == kUnreachable) {
+            (*dist)[w] = next_depth;
+            next_.push_back(w);
+            scout_count += g.Degree(w);
+          }
+        }
+      }
+    }
+
+    std::swap(cur_, next_);
+    ++stats_.levels;
+    ++depth;
+  }
+}
+
+}  // namespace qbs

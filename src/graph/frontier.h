@@ -1,0 +1,162 @@
+// The shared traversal substrate: flat reusable frontier buffers, a dense
+// visited bitmap, and Beamer-style direction-optimizing BFS over the CSR.
+//
+// Every breadth-first hot path in the library (per-landmark labelling
+// construction, the BFS/Bi-BFS baselines, the guided search) runs on these
+// primitives instead of ad-hoc vector-of-vector frontiers. The two ideas:
+//
+//  1. Flat frontiers. A BFS level is a contiguous span of a single reusable
+//     buffer (LevelStack), so per-level allocation disappears and a "how
+//     much did this side traverse" question is a pointer subtraction.
+//
+//  2. Direction switching [Beamer, Asanović & Patterson, SC'12]. When the
+//     frontier's outgoing edge volume grows past a fraction of the
+//     unexplored edges (alpha), expanding it top-down would touch most of
+//     the graph; switching to a bottom-up sweep — every unvisited vertex
+//     scans its neighbours for a frontier parent and stops at the first
+//     hit — turns the dense middle levels of a small-diameter network from
+//     O(frontier edges) into roughly O(unvisited vertices). When the
+//     frontier shrinks below |V| / beta the traversal drops back to
+//     top-down. The complex networks the paper targets (Table 1) spend
+//     almost all their edges in two or three dense levels, which is why
+//     construction (one full BFS per landmark, Fig. 10) is the biggest
+//     winner.
+
+#ifndef QBS_GRAPH_FRONTIER_H_
+#define QBS_GRAPH_FRONTIER_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/bfs.h"
+#include "graph/graph.h"
+
+namespace qbs {
+
+// Dense bitset sized to the vertex space. Clear() is O(|V| / 64) — cheap
+// enough to run once per bottom-up level, and never on the top-down path.
+class Bitmap {
+ public:
+  void Resize(size_t n) { words_.assign((n + 63) / 64, 0); }
+  void Clear() { std::fill(words_.begin(), words_.end(), 0ull); }
+
+  void Set(size_t i) { words_[i >> 6] |= 1ull << (i & 63); }
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ull;
+  }
+
+ private:
+  std::vector<uint64_t> words_;
+};
+
+// Per-level items stored back-to-back in one buffer. BeginLevel() opens a
+// new level; Push() appends to it. Iterate a level by index (LevelBegin /
+// LevelEnd + At) when pushing into the next level of the same buffer,
+// since Push may reallocate it.
+template <typename T>
+class LevelBuffer {
+ public:
+  void Clear() {
+    items_.clear();
+    offsets_.clear();
+  }
+  void BeginLevel() { offsets_.push_back(items_.size()); }
+  void Push(const T& item) { items_.push_back(item); }
+
+  size_t NumLevels() const { return offsets_.size(); }
+  size_t LevelBegin(size_t level) const { return offsets_[level]; }
+  size_t LevelEnd(size_t level) const {
+    return level + 1 < offsets_.size() ? offsets_[level + 1] : items_.size();
+  }
+  size_t LevelSize(size_t level) const {
+    return LevelEnd(level) - LevelBegin(level);
+  }
+  const T& At(size_t index) const { return items_[index]; }
+
+  // Stable only until the next Push into this buffer.
+  std::span<const T> Level(size_t level) const {
+    return {items_.data() + LevelBegin(level),
+            items_.data() + LevelEnd(level)};
+  }
+
+  // Total items across all levels — the "traversed so far" volume.
+  size_t TotalSize() const { return items_.size(); }
+
+ private:
+  std::vector<T> items_;
+  std::vector<size_t> offsets_;
+};
+
+// BFS levels: one contiguous span of vertices per level.
+using LevelStack = LevelBuffer<VertexId>;
+
+// Scratch for repeated rooted traversals that cannot direction-switch
+// because every visit runs a per-vertex pruning decision (the PPL-family
+// pruned BFS): a depth map plus the flat visit queue. The queue doubles as
+// the touched list, so the reset between roots is O(visited), not O(|V|).
+struct RootedBfsScratch {
+  std::vector<uint32_t> depth;  // kUnreachable = unvisited
+  std::vector<VertexId> queue;
+
+  void Prepare(VertexId n) {
+    depth.assign(n, kUnreachable);
+    queue.clear();
+    queue.reserve(n);
+  }
+
+  void ResetVisited() {
+    for (VertexId v : queue) depth[v] = kUnreachable;
+    queue.clear();
+  }
+};
+
+// Direction-switching thresholds. The defaults are the conventional GAP /
+// Beamer constants; the equivalence tests and the ablation bench override
+// the mode outright instead of tuning these.
+struct DirOptPolicy {
+  // Go bottom-up when frontier edge volume > unexplored edges / alpha.
+  uint32_t alpha = 15;
+  // Return top-down when the frontier holds fewer than |V| / beta vertices.
+  uint32_t beta = 18;
+};
+
+enum class TraversalMode {
+  kAuto,      // direction-optimizing (the default everywhere)
+  kTopDown,   // classic level-synchronous push
+  kBottomUp,  // pull every level (test/ablation only; slow on purpose)
+};
+
+struct FrontierStats {
+  uint32_t levels = 0;
+  uint32_t bottom_up_levels = 0;
+  uint64_t edges_scanned = 0;
+};
+
+// Reusable scratch + driver for single-source (optionally depth-bounded)
+// BFS distances. Construct once per thread and reuse: buffers are sized on
+// first use and only grow. Not thread-safe.
+class FrontierEngine {
+ public:
+  // Fills dist (resized to |V|, kUnreachable where not reached) with BFS
+  // distances from `source`, truncated at `max_depth` (inclusive).
+  void Distances(const Graph& g, VertexId source, uint32_t max_depth,
+                 std::vector<uint32_t>* dist,
+                 TraversalMode mode = TraversalMode::kAuto);
+
+  const FrontierStats& stats() const { return stats_; }
+  const DirOptPolicy& policy() const { return policy_; }
+  void set_policy(const DirOptPolicy& policy) { policy_ = policy; }
+
+ private:
+  DirOptPolicy policy_;
+  FrontierStats stats_;
+  std::vector<VertexId> cur_, next_;
+  Bitmap front_bits_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_GRAPH_FRONTIER_H_

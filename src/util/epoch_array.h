@@ -16,54 +16,59 @@ namespace qbs {
 
 // Maps indices to values of type T with a default value for "unset" slots.
 // Reset() is O(1) amortized (O(n) once every 2^32 resets when epochs wrap).
+//
+// The epoch stamp and the value live side by side in one slot, so the
+// IsSet-then-Get pattern on the search hot paths costs a single random
+// cache-line access instead of one per array.
 template <typename T>
 class EpochArray {
  public:
   EpochArray() = default;
-  EpochArray(size_t size, T default_value)
-      : default_(default_value), values_(size, default_value),
-        epochs_(size, 0) {}
+  EpochArray(size_t size, T default_value) { Resize(size, default_value); }
 
   void Resize(size_t size, T default_value) {
     default_ = default_value;
-    values_.assign(size, default_value);
-    epochs_.assign(size, 0);
+    slots_.assign(size, Slot{0, default_value});
     epoch_ = 1;
   }
 
-  size_t size() const { return values_.size(); }
+  size_t size() const { return slots_.size(); }
 
   // Invalidates all previously Set() values.
   void Reset() {
     ++epoch_;
     if (epoch_ == 0) {
       // Epoch counter wrapped: do a real clear so stale stamps cannot alias.
-      std::fill(epochs_.begin(), epochs_.end(), 0u);
+      for (Slot& s : slots_) s.epoch = 0;
       epoch_ = 1;
     }
   }
 
   void Set(size_t i, T value) {
-    QBS_DCHECK(i < values_.size());
-    values_[i] = value;
-    epochs_[i] = epoch_;
+    QBS_DCHECK(i < slots_.size());
+    slots_[i] = Slot{epoch_, value};
   }
 
   T Get(size_t i) const {
-    QBS_DCHECK(i < values_.size());
-    return epochs_[i] == epoch_ ? values_[i] : default_;
+    QBS_DCHECK(i < slots_.size());
+    const Slot& s = slots_[i];
+    return s.epoch == epoch_ ? s.value : default_;
   }
 
   bool IsSet(size_t i) const {
-    QBS_DCHECK(i < values_.size());
-    return epochs_[i] == epoch_;
+    QBS_DCHECK(i < slots_.size());
+    return slots_[i].epoch == epoch_;
   }
 
  private:
+  struct Slot {
+    uint32_t epoch;
+    T value;
+  };
+
   T default_{};
   uint32_t epoch_ = 1;
-  std::vector<T> values_;
-  std::vector<uint32_t> epochs_;
+  std::vector<Slot> slots_;
 };
 
 }  // namespace qbs

@@ -1,19 +1,38 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 
 #include "util/check.h"
 
 namespace qbs {
+namespace {
+
+// Identifies the pool (and worker slot) the current thread belongs to, so
+// Schedule can push to the local deque and stealing can skip it.
+struct TlsWorker {
+  ThreadPool* pool = nullptr;
+  size_t index = 0;
+};
+thread_local TlsWorker tls_worker;
+
+constexpr size_t kNoHome = static_cast<size_t>(-1);
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::thread::hardware_concurrency();
     if (num_threads == 0) num_threads = 1;
   }
+  queues_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -22,50 +41,117 @@ ThreadPool::~ThreadPool() {
     std::unique_lock<std::mutex> lock(mu_);
     shutdown_ = true;
   }
-  task_available_.notify_all();
+  wake_.notify_all();
   for (auto& w : workers_) {
     w.join();
   }
 }
 
 void ThreadPool::Schedule(std::function<void()> task) {
+  size_t target;
   {
     std::unique_lock<std::mutex> lock(mu_);
     QBS_CHECK(!shutdown_);
-    tasks_.push(std::move(task));
+    ++queued_;
+    ++pending_;
+    target = next_queue_++ % queues_.size();
   }
-  task_available_.notify_one();
+  const bool local =
+      tls_worker.pool == this && tls_worker.index < queues_.size();
+  if (local) target = tls_worker.index;
+  {
+    std::unique_lock<std::mutex> qlock(queues_[target]->mu);
+    if (local) {
+      queues_[target]->tasks.push_front(std::move(task));  // LIFO for owner
+    } else {
+      queues_[target]->tasks.push_back(std::move(task));
+    }
+  }
+  wake_.notify_one();
+  event_.notify_all();
+}
+
+bool ThreadPool::PopOrSteal(size_t home, std::function<void()>* task) {
+  const size_t n = queues_.size();
+  // Own deque first, LIFO: the task most recently pushed here is the
+  // cache-warmest.
+  if (home != kNoHome) {
+    std::unique_lock<std::mutex> qlock(queues_[home]->mu);
+    if (!queues_[home]->tasks.empty()) {
+      *task = std::move(queues_[home]->tasks.front());
+      queues_[home]->tasks.pop_front();
+      return true;
+    }
+  }
+  // Steal FIFO from a victim, scanning from the next slot over.
+  for (size_t off = 0; off < n; ++off) {
+    const size_t victim = home == kNoHome ? off : (home + 1 + off) % n;
+    if (victim == home) continue;
+    std::unique_lock<std::mutex> qlock(queues_[victim]->mu);
+    if (!queues_[victim]->tasks.empty()) {
+      *task = std::move(queues_[victim]->tasks.back());
+      queues_[victim]->tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::RunTask(std::function<void()>* task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    --queued_;
+  }
+  (*task)();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    --pending_;
+  }
+  event_.notify_all();
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  tls_worker = TlsWorker{this, index};
+  for (;;) {
+    std::function<void()> task;
+    if (PopOrSteal(index, &task)) {
+      RunTask(&task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    wake_.wait(lock, [this] { return shutdown_ || queued_ > 0; });
+    if (shutdown_ && queued_ == 0) return;
+  }
+}
+
+bool ThreadPool::TryRunOne() {
+  const size_t home =
+      tls_worker.pool == this ? tls_worker.index : kNoHome;
+  std::function<void()> task;
+  if (!PopOrSteal(home, &task)) return false;
+  RunTask(&task);
+  return true;
+}
+
+void ThreadPool::HelpWhile(const std::function<bool()>& done) {
+  while (!done()) {
+    if (TryRunOne()) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    // Park until a task is queued or finishes; the timeout re-checks
+    // `done` in case its state changed without a pool event.
+    event_.wait_for(lock, std::chrono::milliseconds(1),
+                    [this] { return queued_ > 0 || shutdown_; });
+  }
 }
 
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
-  all_idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+  event_.wait(lock, [this] { return pending_ == 0; });
 }
 
-void ThreadPool::WorkerLoop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_available_.wait(lock,
-                           [this] { return shutdown_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        // shutdown_ must be true here.
-        return;
-      }
-      task = std::move(tasks_.front());
-      tasks_.pop();
-      ++active_;
-    }
-    task();
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      --active_;
-      if (tasks_.empty() && active_ == 0) {
-        all_idle_.notify_all();
-      }
-    }
-  }
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(0);
+  return pool;
 }
 
 size_t EffectiveThreads(size_t num_threads) {
@@ -76,29 +162,48 @@ size_t EffectiveThreads(size_t num_threads) {
   return num_threads;
 }
 
-void ParallelFor(size_t count, size_t num_threads,
+void ParallelFor(size_t count, const ParallelForOptions& options,
                  const std::function<void(size_t index, size_t worker)>& fn) {
   if (count == 0) return;
-  num_threads = EffectiveThreads(num_threads);
-  if (num_threads > count) num_threads = count;
-  if (num_threads == 1) {
+  size_t workers = EffectiveThreads(options.num_threads);
+  if (workers > count) workers = count;
+  if (workers == 1) {
     for (size_t i = 0; i < count; ++i) fn(i, 0);
     return;
   }
+  size_t grain = options.grain;
+  if (grain == 0) grain = std::max<size_t>(1, count / (workers * 8));
 
-  std::atomic<size_t> next{0};
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads);
-  for (size_t w = 0; w < num_threads; ++w) {
-    threads.emplace_back([&, w] {
-      for (;;) {
-        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) return;
-        fn(i, w);
-      }
+  std::atomic<size_t> cursor{0};
+  std::atomic<size_t> live{workers - 1};
+  const auto run = [&cursor, &fn, count, grain](size_t w) {
+    for (;;) {
+      const size_t begin = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= count) return;
+      const size_t end = std::min(begin + grain, count);
+      for (size_t i = begin; i < end; ++i) fn(i, w);
+    }
+  };
+
+  ThreadPool& pool = ThreadPool::Shared();
+  for (size_t w = 1; w < workers; ++w) {
+    pool.Schedule([&run, &live, w] {
+      run(w);
+      live.fetch_sub(1, std::memory_order_acq_rel);
     });
   }
-  for (auto& t : threads) t.join();
+  run(0);
+  // Keep draining pool tasks while the scheduled participants finish; this
+  // also makes nested ParallelFor calls deadlock-free.
+  pool.HelpWhile(
+      [&live] { return live.load(std::memory_order_acquire) == 0; });
+}
+
+void ParallelFor(size_t count, size_t num_threads,
+                 const std::function<void(size_t index, size_t worker)>& fn) {
+  ParallelForOptions options;
+  options.num_threads = num_threads;
+  ParallelFor(count, options, fn);
 }
 
 }  // namespace qbs

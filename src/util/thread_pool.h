@@ -1,23 +1,32 @@
-// A small fixed-size thread pool plus a ParallelFor convenience wrapper.
+// A work-stealing thread pool plus a chunked dynamic ParallelFor.
 //
-// QbS labelling construction (Algorithm 2) is embarrassingly parallel across
-// landmarks (Lemma 5.2: the labelling scheme is deterministic w.r.t. the
-// landmark set), so a simple static work distribution suffices.
+// Workers own per-thread deques: a worker pushes and pops its own deque
+// LIFO (cache-warm) and steals FIFO from a victim when empty, so skewed
+// task costs (one landmark BFS dominating, one heavy query in a batch)
+// rebalance automatically instead of serializing behind a FIFO queue.
+//
+// ParallelFor hands out index chunks of `grain` iterations from a shared
+// cursor — dynamic load balancing at chunk granularity — and runs on a
+// process-wide shared pool, so repeated batch calls (QueryBatch) pay no
+// thread-spawn cost. The calling thread participates as worker 0 and helps
+// drain pool tasks while waiting, which makes nested ParallelFor calls
+// deadlock-free.
 
 #ifndef QBS_UTIL_THREAD_POOL_H_
 #define QBS_UTIL_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
 namespace qbs {
 
-// Fixed-size pool of worker threads consuming a FIFO task queue.
+// Fixed-size pool of workers with per-worker work-stealing deques.
 class ThreadPool {
  public:
   // Creates a pool with `num_threads` workers; 0 means
@@ -30,32 +39,76 @@ class ThreadPool {
   // Blocks until all scheduled tasks finish.
   ~ThreadPool();
 
-  // Schedules `task` for execution on some worker.
+  // Schedules `task` for execution on some worker. Called from a pool
+  // worker, the task lands on that worker's own deque (LIFO); otherwise it
+  // is distributed round-robin.
   void Schedule(std::function<void()> task);
 
-  // Blocks until the task queue is empty and all workers are idle.
+  // Blocks until every scheduled task has finished. Call from outside the
+  // pool only.
   void Wait();
+
+  // Runs pool tasks on the calling thread until `done` returns true,
+  // parking when no task is runnable. This is how ParallelFor joins: the
+  // caller keeps stealing work instead of blocking, so a ParallelFor
+  // issued from inside a pool task cannot deadlock the pool.
+  void HelpWhile(const std::function<bool()>& done);
+
+  // Pops or steals one task and runs it. Returns false if every deque was
+  // empty.
+  bool TryRunOne();
 
   size_t num_threads() const { return workers_.size(); }
 
- private:
-  void WorkerLoop();
+  // Process-wide pool (hardware-concurrency workers, created on first use)
+  // backing ParallelFor.
+  static ThreadPool& Shared();
 
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t index);
+  bool PopOrSteal(size_t home, std::function<void()>* task);
+  void RunTask(std::function<void()>* task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+
+  // Guards sleep/wake and completion signalling; counters are read under it
+  // in wait predicates.
   std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable all_idle_;
-  size_t active_ = 0;
+  std::condition_variable wake_;   // workers: new task or shutdown
+  std::condition_variable event_;  // waiters: task completed or scheduled
+  size_t queued_ = 0;              // tasks sitting in deques
+  size_t pending_ = 0;             // scheduled but not yet finished
+  size_t next_queue_ = 0;          // round-robin cursor for external pushes
   bool shutdown_ = false;
 };
 
-// Runs fn(i, worker_index) for every i in [0, count), distributed over
-// `num_threads` threads (0 = hardware concurrency, 1 = inline on the calling
-// thread). `worker_index` is in [0, effective_threads) and lets callers keep
-// per-worker scratch state (e.g. a reusable BFS depth array).
+struct ParallelForOptions {
+  // 0 = hardware concurrency, 1 = inline on the calling thread, otherwise
+  // the exact worker count (worker indices are [0, count)).
+  size_t num_threads = 0;
+  // Iterations handed out per grab from the shared cursor; 0 picks
+  // count / (workers * 8), clamped to >= 1. Smaller grains rebalance skew
+  // better, larger grains amortize the cursor more.
+  size_t grain = 0;
+};
+
+// Runs fn(i, worker_index) for every i in [0, count), distributed over the
+// shared pool in dynamically-balanced chunks. `worker_index` is in
+// [0, effective_threads) and lets callers keep per-worker scratch state
+// (e.g. a reusable BFS depth array); each worker index is used by exactly
+// one thread at a time.
 //
 // Blocks until all iterations complete.
+void ParallelFor(size_t count, const ParallelForOptions& options,
+                 const std::function<void(size_t index, size_t worker)>& fn);
+
+// Back-compat convenience: ParallelFor with the default grain.
 void ParallelFor(size_t count, size_t num_threads,
                  const std::function<void(size_t index, size_t worker)>& fn);
 

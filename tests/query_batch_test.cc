@@ -1,3 +1,5 @@
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "baselines/bfs_oracle.h"
@@ -62,6 +64,27 @@ TEST(QueryBatchTest, EmptyAndSingleton) {
   const auto single = index.QueryBatch({{0, 9}}, 4);
   ASSERT_EQ(single.size(), 1u);
   EXPECT_EQ(single[0], SpgByDoubleBfs(g, 0, 9));
+}
+
+TEST(QueryBatchTest, ConcurrentBatchesOnOneIndex) {
+  // Concurrent QueryBatch calls must not share searchers (the pool is
+  // checkout/checkin under a lock).
+  Graph g = BarabasiAlbert(600, 3, 9);
+  QbsOptions options;
+  options.num_landmarks = 10;
+  QbsIndex index = QbsIndex::Build(g, options);
+  const auto pairs = ToPairs(SampleQueryPairs(g, 200, 3));
+  const auto expected = index.QueryBatch(pairs, 1);
+  std::vector<std::vector<ShortestPathGraph>> got(4);
+  std::vector<std::thread> callers;
+  for (size_t t = 0; t < got.size(); ++t) {
+    callers.emplace_back(
+        [&, t] { got[t] = index.QueryBatch(pairs, 3); });
+  }
+  for (auto& c : callers) c.join();
+  for (const auto& result : got) {
+    ASSERT_EQ(result, expected);
+  }
 }
 
 TEST(QueryBatchTest, DuplicateAndSelfPairs) {
