@@ -86,6 +86,68 @@ void Run() {
   table.Footer();
 }
 
+// Bit-parallel mask ablation: the same index built with and without the
+// Akiba-style masks. Reports construction cost, per-query latency, the
+// fraction of pairs the label fast path resolves (d <= 2 short circuits),
+// and the mask matrix size — the full price/benefit picture of the
+// feature.
+void RunBitParallelAblation() {
+  std::printf("Bit-parallel label masks: on vs off, |R| = 20, %zu pairs\n",
+              EnvPairs());
+  TablePrinter table("Bit-parallel ablation",
+                     {"Dataset", "b.bp(s)", "b.nobp(s)", "q.bp(ms)",
+                      "q.nobp(ms)", "spdup", "hit2(%)", "size.BP"},
+                     {12, 9, 10, 10, 11, 7, 8, 10});
+  for (const auto& spec : SelectedDatasets()) {
+    const LoadedDataset d = LoadDataset(spec);
+    const Graph& g = d.graph;
+
+    QbsOptions on;
+    on.num_landmarks = 20;
+    on.num_threads = EnvThreads();
+    QbsOptions off = on;
+    off.bit_parallel = false;
+    QbsIndex qbs_on = QbsIndex::Build(g, on);
+    QbsIndex qbs_off = QbsIndex::Build(g, off);
+
+    // Untimed warmup per index so neither configuration is charged for
+    // cold caches.
+    const size_t warmup = std::min<size_t>(d.pairs.size(), 128);
+    for (size_t i = 0; i < warmup; ++i) {
+      qbs_on.Query(d.pairs[i].u, d.pairs[i].v);
+    }
+    SearchStats agg;
+    WallTimer timer;
+    for (const auto& [u, v] : d.pairs) {
+      SearchStats stats;
+      qbs_on.Query(u, v, &stats);
+      agg.Accumulate(stats);
+    }
+    const double q_on = timer.ElapsedMillis() / d.pairs.size();
+
+    for (size_t i = 0; i < warmup; ++i) {
+      qbs_off.Query(d.pairs[i].u, d.pairs[i].v);
+    }
+    timer.Reset();
+    for (const auto& [u, v] : d.pairs) {
+      SearchStats stats;
+      qbs_off.Query(u, v, &stats);
+    }
+    const double q_off = timer.ElapsedMillis() / d.pairs.size();
+
+    const double hit2 =
+        100.0 * static_cast<double>(agg.label_short_circuits) /
+        static_cast<double>(d.pairs.size());
+    table.Row({spec.abbrev,
+               FormatSeconds(qbs_on.timings().labeling_seconds),
+               FormatSeconds(qbs_off.timings().labeling_seconds),
+               FormatMs(q_on), FormatMs(q_off),
+               FormatDouble(q_on > 0 ? q_off / q_on : 0.0, 2),
+               FormatDouble(hit2, 1), HumanBytes(qbs_on.BpMaskSizeBytes())});
+  }
+  table.Footer();
+}
+
 // Direction-switching ablation: a full-graph BFS from the 5 highest-degree
 // vertices, top-down versus direction-optimizing, with the engine's scan
 // counters. This is the per-landmark kernel of Algorithm 2 construction.
@@ -137,5 +199,6 @@ void RunFrontierAblation() {
 int main(int argc, char** argv) {
   qbs::bench::InitBenchArgs(argc, argv);
   qbs::bench::Run();
+  qbs::bench::RunBitParallelAblation();
   qbs::bench::RunFrontierAblation();
 }

@@ -1,5 +1,6 @@
 # Build-type plumbing: default to Release, and add sanitizer build types
-# (ASan = address+undefined, UBSan = undefined only, TSan = thread) so that
+# (ASan = address+undefined, UBSan = undefined only, TSan = thread) plus a
+# Coverage type (gcov instrumentation for the CI coverage job) so that
 # `cmake -DCMAKE_BUILD_TYPE=ASan` or the matching preset just works.
 
 get_property(_qbs_multi_config GLOBAL PROPERTY GENERATOR_IS_MULTI_CONFIG)
@@ -11,8 +12,11 @@ if(NOT _qbs_multi_config)
         "Release"
         CACHE STRING "Build type" FORCE)
   endif()
-  set_property(CACHE CMAKE_BUILD_TYPE PROPERTY STRINGS
-               "Debug;Release;RelWithDebInfo;MinSizeRel;ASan;UBSan;TSan")
+  set_property(
+    CACHE CMAKE_BUILD_TYPE
+    PROPERTY STRINGS
+             "Debug;Release;RelWithDebInfo;MinSizeRel;ASan;UBSan;TSan;Coverage"
+  )
 endif()
 
 set(_qbs_asan_flags
@@ -20,8 +24,11 @@ set(_qbs_asan_flags
 )
 set(_qbs_ubsan_flags "-O1 -g -fsanitize=undefined -fno-sanitize-recover=all")
 set(_qbs_tsan_flags "-O1 -g -fsanitize=thread")
+# gcov line coverage; -O0 keeps line attribution exact, and the tests are
+# fast enough that the unit label stays in CI budget uninstrumented-speed.
+set(_qbs_coverage_flags "-O0 -g --coverage")
 
-foreach(_cfg ASAN UBSAN TSAN)
+foreach(_cfg ASAN UBSAN TSAN COVERAGE)
   string(TOLOWER ${_cfg} _cfg_lower)
   set(CMAKE_CXX_FLAGS_${_cfg}
       "${_qbs_${_cfg_lower}_flags}"

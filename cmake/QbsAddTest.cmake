@@ -22,6 +22,10 @@ function(qbs_add_test name)
   target_link_libraries(${name} PRIVATE qbs_core qbs_warnings
                                         GTest::gtest_main ${ARG_LIBS})
   target_include_directories(${name} PRIVATE "${PROJECT_SOURCE_DIR}")
+  # Checked-in binary fixtures (e.g. the v1 index file serialization_test
+  # proves the current loader still reads).
+  target_compile_definitions(
+    ${name} PRIVATE QBS_TEST_DATA_DIR="${PROJECT_SOURCE_DIR}/tests/data")
 
   add_test(NAME ${name} COMMAND ${name} ${ARG_ARGS})
   set_tests_properties(${name} PROPERTIES TIMEOUT ${ARG_TIMEOUT})

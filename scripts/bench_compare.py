@@ -1,17 +1,31 @@
 #!/usr/bin/env python3
-"""Compare two bench CSV dumps and fail on query-latency regressions.
+"""Compare two bench CSV dumps and fail on performance regressions.
 
 The bench binaries echo every table row as `csv,...` preceded by a
 `csvh,...` header row (see bench/bench_common.cc). This script pairs rows
 between a baseline dump and a current dump by (header, first cell) and
-compares every column whose name contains "(ms)". A regression is a
-current value exceeding baseline * threshold with an absolute increase of
-at least --min-ms (micro-benchmark noise floor).
+compares:
+
+  * every column whose name contains "(ms)" — query latency; and
+  * every column whose name contains "(s)"  — construction time (the
+    workload-driven gate: an index that got slower to build regresses the
+    offline phase even when queries held).
+
+A regression is a current value exceeding baseline * threshold with an
+absolute increase of at least the per-unit noise floor (--min-ms /
+--min-s); micro-benchmark noise must not fail CI.
+
+A missing or unreadable *baseline* is not an error: the first run on a
+fresh branch has no artifact to compare against, so the script warns and
+passes (exit 0). A missing *current* dump is still an error — the bench
+just ran, its output must exist.
 
 Usage:
-  bench_compare.py baseline.csv current.csv [--threshold 1.25] [--min-ms 0.01]
+  bench_compare.py baseline.csv current.csv [--threshold 1.25]
+                   [--min-ms 0.002] [--min-s 0.05]
 
-Exit codes: 0 = ok (or nothing comparable), 1 = regression, 2 = bad input.
+Exit codes: 0 = ok (or nothing comparable / no baseline), 1 = regression,
+2 = bad current input.
 """
 
 import argparse
@@ -43,17 +57,34 @@ def main():
     ap.add_argument("--threshold", type=float, default=1.25,
                     help="fail when current > baseline * threshold")
     ap.add_argument("--min-ms", type=float, default=0.002,
-                    help="ignore absolute increases below this (timer "
+                    help="ignore absolute (ms) increases below this (timer "
                          "noise); QbS per-query averages are microsecond-"
                          "scale, so keep this well under them")
+    ap.add_argument("--min-s", type=float, default=0.05,
+                    help="ignore absolute construction-time (s) increases "
+                         "below this (CI machines jitter small builds)")
     args = ap.parse_args()
 
     try:
         base = parse_tables(args.baseline)
+    except OSError as e:
+        print(f"bench_compare: no baseline ({e}); "
+              "fresh branch or expired artifact — passing", file=sys.stderr)
+        return 0
+    try:
         cur = parse_tables(args.current)
     except OSError as e:
-        print(f"bench_compare: cannot read input: {e}", file=sys.stderr)
+        print(f"bench_compare: cannot read current dump: {e}",
+              file=sys.stderr)
         return 2
+
+    def gate(col):
+        """(kind, noise_floor) for a gated column, else None."""
+        if "(ms)" in col:
+            return "query", args.min_ms
+        if "(s)" in col:
+            return "construction", args.min_s
+        return None
 
     compared = 0
     regressions = []
@@ -62,8 +93,10 @@ def main():
         if base_row is None:
             continue  # new dataset/table: nothing to compare against
         for col, cur_val in cur_row.items():
-            if "(ms)" not in col:
+            gated = gate(col)
+            if gated is None:
                 continue
+            kind, floor = gated
             base_val = base_row.get(col)
             if base_val is None:
                 continue
@@ -74,21 +107,21 @@ def main():
                 continue  # DNF / OOE / "-" markers
             compared += 1
             status = "ok"
-            if c > b * args.threshold and c - b >= args.min_ms:
+            if c > b * args.threshold and c - b >= floor:
                 status = "REGRESSION"
-                regressions.append((key[1], col, b, c))
+                regressions.append((key[1], col, kind, b, c))
             ratio = c / b if b > 0 else float("inf")
-            print(f"{key[1]:>12} {col:>12}: {b:9.4f} -> {c:9.4f} ms "
+            print(f"{key[1]:>12} {col:>12}: {b:9.4f} -> {c:9.4f} "
                   f"({ratio:5.2f}x) {status}")
 
     if compared == 0:
-        print("bench_compare: no comparable (ms) cells found; passing")
+        print("bench_compare: no comparable cells found; passing")
         return 0
     if regressions:
-        print(f"\nbench_compare: {len(regressions)} query-latency "
-              f"regression(s) beyond {args.threshold:.2f}x:")
-        for name, col, b, c in regressions:
-            print(f"  {name} {col}: {b:.4f} -> {c:.4f} ms")
+        print(f"\nbench_compare: {len(regressions)} regression(s) beyond "
+              f"{args.threshold:.2f}x:")
+        for name, col, kind, b, c in regressions:
+            print(f"  [{kind}] {name} {col}: {b:.4f} -> {c:.4f}")
         return 1
     print(f"\nbench_compare: {compared} cells compared, no regressions")
     return 0

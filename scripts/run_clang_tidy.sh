@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (.clang-tidy config) over src/ translation units against
+# a compile_commands.json, warnings-as-errors.
+#
+# Usage: scripts/run_clang_tidy.sh <build-dir> [base-ref]
+#
+# With a resolvable base-ref, only the files changed since the merge-base
+# are linted (a changed header pulls in its sibling .cc); without one,
+# every src/ TU is linted. CI passes the PR base (or the pre-push SHA), so
+# the warnings-as-errors gate applies exactly to the changed files.
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+BASE_REF=${2:-}
+TIDY=${CLANG_TIDY:-clang-tidy}
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: $BUILD_DIR/compile_commands.json not found" \
+       "(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)" >&2
+  exit 2
+fi
+
+declare -a files=()
+if [ -n "$BASE_REF" ] && git rev-parse -q --verify "$BASE_REF^{commit}" \
+     > /dev/null 2>&1; then
+  base=$(git merge-base "$BASE_REF" HEAD)
+  changed=$(git diff --name-only --diff-filter=d "$base" HEAD \
+              | grep -E '^src/.*\.(cc|h)$' || true)
+  declare -A seen=()
+  for f in $changed; do
+    if [[ "$f" == *.h ]]; then
+      # Lint the header through its sibling TU when one exists; the
+      # HeaderFilterRegex surfaces header diagnostics either way.
+      f="${f%.h}.cc"
+      [ -f "$f" ] || continue
+    fi
+    if [ -z "${seen[$f]:-}" ]; then
+      seen[$f]=1
+      files+=("$f")
+    fi
+  done
+  if [ ${#files[@]} -eq 0 ]; then
+    echo "run_clang_tidy: no src/ files changed since $base; nothing to lint"
+    exit 0
+  fi
+  echo "run_clang_tidy: linting ${#files[@]} changed file(s) since $base"
+else
+  while IFS= read -r f; do files+=("$f"); done \
+    < <(find src -name '*.cc' | sort)
+  echo "run_clang_tidy: no base ref; linting all ${#files[@]} src/ TUs"
+fi
+
+"$TIDY" --version
+"$TIDY" -p "$BUILD_DIR" --warnings-as-errors='*' "${files[@]}"

@@ -53,10 +53,135 @@ GuidedSearcher::GuidedSearcher(const Graph& g, const Graph& sparsified,
 
 ShortestPathGraph GuidedSearcher::Query(VertexId u, VertexId v,
                                         SearchStats* stats) {
+  if (u != v && labeling_.has_bp_masks()) {
+    // One label-row scan feeds both the certification check and, on
+    // fall-through, the sketch (reuse_candidates below).
+    ComputeAnchorCandidatesInto(labeling_, u, &sketch_buffers_.cu);
+    ComputeAnchorCandidatesInto(labeling_, v, &sketch_buffers_.cv);
+    ShortestPathGraph result;
+    if (TryLabelFastPath(u, v, stats, &result)) return result;
+    ComputeSketchInto(labeling_, meta_, u, v, &sketch_scratch_,
+                      &sketch_buffers_, /*with_meta_edges=*/false,
+                      /*reuse_candidates=*/true);
+    lazy_sketch_ = true;
+    return QueryWithSketch(u, v, sketch_scratch_, stats);
+  }
   ComputeSketchInto(labeling_, meta_, u, v, &sketch_scratch_,
                     &sketch_buffers_, /*with_meta_edges=*/false);
   lazy_sketch_ = true;
   return QueryWithSketch(u, v, sketch_scratch_, stats);
+}
+
+std::pair<size_t, size_t> GuidedSearcher::EmitShortSpgEdges(
+    VertexId u, VertexId v, uint32_t distance, SearchStats* stats,
+    ShortestPathGraph* result) {
+  result->edges.clear();
+  if (distance == 1) {
+    result->edges.emplace_back(u, v);
+    result->Normalize();
+    return {0, 0};
+  }
+  QBS_DCHECK(distance == 2);
+  // Common-neighbour intersection over the sorted adjacency lists: every
+  // shortest path of a distance-2 pair is u - w - v with w in N(u) ∩ N(v).
+  // Skewed degrees (hub endpoints) binary-search the small list through
+  // the big one; similar degrees linear-merge, clamped to the id range the
+  // small list can reach — either way the cost tracks the smaller
+  // neighbourhood, not the hub's.
+  std::span<const VertexId> small = g_.Neighbors(u);
+  std::span<const VertexId> big = g_.Neighbors(v);
+  if (small.size() > big.size()) std::swap(small, big);
+  common_scratch_.clear();
+  if (!small.empty() && small.size() * 8 <= big.size()) {
+    for (const VertexId w : small) {
+      ++stats->edges_scanned_direct;
+      if (std::binary_search(big.begin(), big.end(), w)) {
+        common_scratch_.push_back(w);
+      }
+    }
+  } else if (!small.empty()) {
+    const auto* lo =
+        std::lower_bound(big.data(), big.data() + big.size(), small.front());
+    const auto* hi =
+        std::upper_bound(lo, big.data() + big.size(), small.back());
+    size_t iu = 0;
+    while (iu < small.size() && lo != hi) {
+      ++stats->edges_scanned_direct;
+      if (small[iu] < *lo) {
+        ++iu;
+      } else if (*lo < small[iu]) {
+        ++lo;
+      } else {
+        common_scratch_.push_back(small[iu]);
+        ++iu;
+        ++lo;
+      }
+    }
+  }
+  QBS_DCHECK(!common_scratch_.empty());  // distance 2 implies a witness
+  result->edges.reserve(2 * common_scratch_.size());
+  size_t landmark_witnesses = 0;
+  for (const VertexId w : common_scratch_) {
+    if (labeling_.IsLandmark(w)) ++landmark_witnesses;
+    result->edges.emplace_back(u, w);
+    result->edges.emplace_back(w, v);
+  }
+  result->Normalize();
+  return {landmark_witnesses, common_scratch_.size()};
+}
+
+bool GuidedSearcher::TryLabelFastPath(VertexId u, VertexId v,
+                                      SearchStats* stats,
+                                      ShortestPathGraph* result) {
+  QBS_CHECK_LT(u, g_.NumVertices());
+  QBS_CHECK_LT(v, g_.NumVertices());
+  // Only certify-level refinement: landmarks whose unrefined candidate
+  // cannot reach 2 skip their mask cache lines, so far pairs pay one label
+  // row scan and nothing else. The candidate rows were filled by Query();
+  // a landmark pair short-cuts through the (exact) meta distance since its
+  // rows cannot share an entry.
+  LabelBound bound;
+  if (labeling_.IsLandmark(u) && labeling_.IsLandmark(v)) {
+    // Landmark pair: the candidate rows cannot share an entry; defer to
+    // ComputeLabelBound's (exact) meta-distance branch.
+    bound = ComputeLabelBound(labeling_, meta_, u, v, /*refine_cutoff=*/2);
+  } else {
+    bound = ComputeLabelBoundFromCandidates(labeling_, sketch_buffers_.cu,
+                                            sketch_buffers_.cv, u, v,
+                                            /*refine_cutoff=*/2);
+  }
+  if (stats != nullptr) stats->d_label_upper = bound.upper;
+  if (bound.upper > 2) return false;  // not certified: run the guided search
+  QBS_DCHECK(bound.upper >= 1);       // upper == 0 would force u == v
+
+  SearchStats local_stats;
+  SearchStats* s = stats != nullptr ? stats : &local_stats;
+  const bool endpoint_lm = labeling_.IsLandmark(u) || labeling_.IsLandmark(v);
+
+  result->u = u;
+  result->v = v;
+  uint32_t distance = bound.upper;
+  if (bound.upper == 2) {
+    // The certificate pins d to {1, 2}; one edge probe (HasEdge searches
+    // the smaller adjacency list itself) settles which.
+    s->edges_scanned_direct += 1;
+    if (g_.HasEdge(u, v)) distance = 1;
+  }
+  result->distance = distance;
+  const auto [landmark_witnesses, total_witnesses] =
+      EmitShortSpgEdges(u, v, distance, s, result);
+  if (distance == 1) {
+    s->coverage = endpoint_lm ? PairCoverage::kAllThroughLandmarks
+                              : PairCoverage::kNoneThroughLandmarks;
+  } else if (endpoint_lm || landmark_witnesses == total_witnesses) {
+    s->coverage = PairCoverage::kAllThroughLandmarks;
+  } else if (landmark_witnesses > 0) {
+    s->coverage = PairCoverage::kSomeThroughLandmarks;
+  } else {
+    s->coverage = PairCoverage::kNoneThroughLandmarks;
+  }
+  ++s->label_short_circuits;
+  return true;
 }
 
 int GuidedSearcher::PickSide(const Sketch& sketch, const uint32_t d[2]) const {
@@ -228,6 +353,17 @@ ShortestPathGraph GuidedSearcher::QueryWithSketch(VertexId u, VertexId v,
     stats->coverage = PairCoverage::kSomeThroughLandmarks;
   } else {
     stats->coverage = PairCoverage::kAllThroughLandmarks;
+  }
+
+  // Close pairs the labels could not certify still skip the reverse and
+  // recover stages: with the distance now known to be 1 or 2, the exact
+  // SPG is a direct edge / common-neighbour emission, so d <= 2 queries
+  // never scan a reverse or recover edge regardless of certification.
+  // Gated on the masks so bit_parallel = false reproduces the pre-mask
+  // query path exactly (the ablation baseline).
+  if (result.distance <= 2 && labeling_.has_bp_masks()) {
+    EmitShortSpgEdges(u, v, result.distance, stats, &result);
+    return result;
   }
 
   // Stage 2: reverse search (G⁻_uv) — runs iff the frontiers met, i.e.

@@ -49,8 +49,12 @@ class GuidedSearcher {
                  const PathLabeling& labeling, const MetaGraph& meta,
                  const DeltaCache* delta);
 
-  // Answers SPG(u, v). Computes the sketch internally. `stats`, if
-  // non-null, receives the per-query counters.
+  // Answers SPG(u, v). When the labelling carries bit-parallel masks, d <= 2
+  // pairs resolve on a label-guided fast path (ComputeLabelBound + an edge
+  // probe / common-neighbour intersection) with zero search, reverse, or
+  // recover edge scans; everything else computes the sketch internally and
+  // runs the guided search. `stats`, if non-null, receives the per-query
+  // counters.
   ShortestPathGraph Query(VertexId u, VertexId v,
                           SearchStats* stats = nullptr);
 
@@ -61,6 +65,26 @@ class GuidedSearcher {
                                     SearchStats* stats = nullptr);
 
  private:
+  // The label-certified d <= 2 fast path. Returns true and fills *result
+  // (an exact SPG) when ComputeLabelBound certifies d(u, v) <= 2; the SPG
+  // is then a single edge probe or a sorted-adjacency intersection away —
+  // no sketch, search, reverse, or recover work at all. Returns false —
+  // leaving *result untouched — when the labels cannot certify it (the
+  // guided search then resolves the pair, still recover-free when the
+  // distance turns out <= 2).
+  bool TryLabelFastPath(VertexId u, VertexId v, SearchStats* stats,
+                        ShortestPathGraph* result);
+
+  // Fills result->edges with the exact SPG of a pair KNOWN to be at
+  // distance 1 or 2 (direct edge, or one (u,w) + (w,v) pair per common
+  // neighbour w). Returns {landmark witnesses, total witnesses} of the
+  // distance-2 intersection ({0, 0} for distance 1) so callers can
+  // classify coverage.
+  std::pair<size_t, size_t> EmitShortSpgEdges(VertexId u, VertexId v,
+                                              uint32_t distance,
+                                              SearchStats* stats,
+                                              ShortestPathGraph* result);
+
   // Expands side `t` of the bi-directional search by one level; appends
   // newly met vertices (already settled by the other side) to meet_set_.
   void ExpandLevel(int t, SearchStats* stats);
@@ -115,6 +139,7 @@ class GuidedSearcher {
   EpochArray<uint64_t> walk_session_;  // landmark -> session serial
   uint64_t walk_serial_ = 0;
   std::vector<VertexId> walk_stack_;  // LabelWalk DFS stack
+  std::vector<VertexId> common_scratch_;  // fast-path common neighbours
   std::vector<Edge> edges_;  // accumulating answer
   Sketch sketch_scratch_;
   SketchScratch sketch_buffers_;

@@ -18,6 +18,9 @@ struct BfsScratch {
   std::vector<VertexId> cur_l, cur_n, next_l, next_n;
   // Frontier membership bitmaps, rebuilt only for bottom-up levels.
   Bitmap bits_l, bits_n;
+  // Every settled vertex in settle order (level-sorted: level d vertices
+  // all precede level d+1). The bit-parallel mask sweep replays it.
+  std::vector<VertexId> order;
   DirOptPolicy policy;
 };
 
@@ -31,6 +34,7 @@ inline void Settle(VertexId v, bool via_l, uint32_t next_depth,
                    const PathLabeling& labeling, LandmarkIndex i, DistT* col,
                    std::vector<MetaEdge>* meta_edges, BfsScratch* s) {
   s->depth[v] = next_depth;
+  s->order.push_back(v);
   if (!via_l) {
     s->next_n.push_back(v);
     return;
@@ -61,7 +65,9 @@ void LabelFromLandmark(const Graph& g, const PathLabeling& labeling,
   s->depth.assign(n, kUnreachable);
   s->cur_l.clear();
   s->cur_n.clear();
+  s->order.clear();
   s->depth[root] = 0;
+  s->order.push_back(root);
   s->cur_l.push_back(root);
 
   uint64_t edges_remaining = 2 * g.NumEdges();
@@ -131,6 +137,66 @@ void LabelFromLandmark(const Graph& g, const PathLabeling& labeling,
   }
 }
 
+// Selects S_r for the landmark rooted at `root`: its first <= 64
+// non-landmark neighbours in adjacency (ascending id) order.
+std::vector<VertexId> SelectBpNeighbors(const Graph& g,
+                                        const PathLabeling& labeling,
+                                        VertexId root) {
+  std::vector<VertexId> selected;
+  for (VertexId w : g.Neighbors(root)) {
+    if (labeling.IsLandmark(w)) continue;
+    selected.push_back(w);
+    if (selected.size() == 64) break;
+  }
+  return selected;
+}
+
+// Fills this landmark's mask column from the finished BFS (depth array +
+// level-sorted settle order). Two level-synchronous sweeps:
+//   S^{-1} flows down parent edges only (a shortest u_j..v path enters v
+//   through a predecessor w with depth(w) = depth(v) - 1 and
+//   d(u_j, w) = depth(w) - 1), seeded with bit j at the selected vertex
+//   u_j itself (d(u_j, u_j) = 0 = depth(u_j) - 1);
+//   S^{0} candidates come from same-level neighbours' S^{-1} AND parents'
+//   S^{0} (the predecessor of a length-depth(v) path sits at depth(v) - 1
+//   with d(u_j, w) = depth(w), or at depth(v) with d(u_j, w) =
+//   depth(w) - 1), minus S^{-1}(v) — both sources can also witness the
+//   one-closer distance.
+// Replaying the settle order keeps both sweeps in level order without
+// re-bucketing (parents' S^{0} is final before their children's), and
+// `col` slices a zero-initialized buffer, so unreached vertices keep empty
+// masks.
+void ComputeBpColumn(const Graph& g, const std::vector<VertexId>& selected,
+                     const std::vector<uint32_t>& depth,
+                     const std::vector<VertexId>& order, BpMask* col) {
+  if (selected.empty()) return;
+  for (size_t j = 0; j < selected.size(); ++j) {
+    col[selected[j]].s_minus = 1ull << j;
+  }
+  for (const VertexId v : order) {
+    const uint32_t d = depth[v];
+    if (d < 2) continue;  // root and level 1 are fully seeded above
+    uint64_t m = 0;
+    for (VertexId w : g.Neighbors(v)) {
+      if (depth[w] == d - 1) m |= col[w].s_minus;
+    }
+    col[v].s_minus = m;
+  }
+  for (const VertexId v : order) {
+    const uint32_t d = depth[v];
+    if (d == 0) continue;
+    uint64_t z = 0;
+    for (VertexId w : g.Neighbors(v)) {
+      if (depth[w] == d) {
+        z |= col[w].s_minus;
+      } else if (depth[w] + 1 == d) {
+        z |= col[w].s_zero;
+      }
+    }
+    col[v].s_zero = z & ~col[v].s_minus;
+  }
+}
+
 }  // namespace
 
 PathLabeling::PathLabeling(VertexId num_vertices,
@@ -175,6 +241,38 @@ void PathLabeling::AssignFromColumns(const std::vector<DistT>& cols) {
   }
 }
 
+void PathLabeling::EnableBpMasks() {
+  bp_.assign(static_cast<size_t>(num_vertices_) * landmarks_.size(),
+             BpMask{});
+  bp_selected_.assign(landmarks_.size(), {});
+}
+
+void PathLabeling::SetBpSelected(LandmarkIndex i,
+                                 std::vector<VertexId> selected) {
+  QBS_CHECK_LE(selected.size(), 64u);
+  bp_selected_[i] = std::move(selected);
+}
+
+void PathLabeling::AssignBpFromColumns(const std::vector<BpMask>& cols) {
+  const size_t n = num_vertices_;
+  const size_t k = landmarks_.size();
+  QBS_CHECK_EQ(cols.size(), n * k);
+  QBS_CHECK_EQ(bp_.size(), n * k);
+  // A BpMask is 16 bytes, so a 32x32 tile spans 16KB per side.
+  constexpr size_t kTile = 32;
+  for (size_t v0 = 0; v0 < n; v0 += kTile) {
+    const size_t v1 = std::min(v0 + kTile, n);
+    for (size_t i0 = 0; i0 < k; i0 += kTile) {
+      const size_t i1 = std::min(i0 + kTile, k);
+      for (size_t v = v0; v < v1; ++v) {
+        for (size_t i = i0; i < i1; ++i) {
+          bp_[v * k + i] = cols[i * n + v];
+        }
+      }
+    }
+  }
+}
+
 LabelingScheme BuildLabelingScheme(const Graph& g,
                                    const std::vector<VertexId>& landmarks,
                                    const LabelingBuildOptions& options) {
@@ -190,19 +288,37 @@ LabelingScheme BuildLabelingScheme(const Graph& g,
   // One BFS per landmark. Each BFS streams labels into its own
   // landmark-major column and meta-edge lists are per-landmark, so workers
   // never contend; a single blocked transpose then fills the vertex-major
-  // query matrix.
+  // query matrix. When bit-parallel masks are on, the finished BFS (depth
+  // array + settle order) feeds the mask sweeps before the worker moves on,
+  // into a mask column of the same landmark-major layout.
   const size_t workers =
       std::min<size_t>(EffectiveThreads(options.num_threads), k);
   std::vector<BfsScratch> scratch(workers);
   std::vector<std::vector<MetaEdge>> local_meta(k);
   std::vector<DistT> cols(static_cast<size_t>(g.NumVertices()) * k, kInfDist);
+  std::vector<BpMask> bp_cols;
+  if (options.bit_parallel) {
+    scheme.labeling.EnableBpMasks();
+    bp_cols.assign(static_cast<size_t>(g.NumVertices()) * k, BpMask{});
+    for (LandmarkIndex i = 0; i < k; ++i) {
+      scheme.labeling.SetBpSelected(
+          i, SelectBpNeighbors(g, scheme.labeling, landmarks[i]));
+    }
+  }
 
   ParallelFor(k, workers, [&](size_t i, size_t worker) {
     LabelFromLandmark(g, scheme.labeling, static_cast<LandmarkIndex>(i),
                       cols.data() + i * static_cast<size_t>(g.NumVertices()),
                       &local_meta[i], &scratch[worker]);
+    if (options.bit_parallel) {
+      ComputeBpColumn(
+          g, scheme.labeling.BpSelected(static_cast<LandmarkIndex>(i)),
+          scratch[worker].depth, scratch[worker].order,
+          bp_cols.data() + i * static_cast<size_t>(g.NumVertices()));
+    }
   });
   scheme.labeling.AssignFromColumns(cols);
+  if (options.bit_parallel) scheme.labeling.AssignBpFromColumns(bp_cols);
 
   // Each meta-edge is discovered from both endpoints (the existence
   // condition is symmetric); keep one copy and let AddEdge cross-check the

@@ -12,6 +12,17 @@
 // Lemma 5.2: the scheme is uniquely determined by (G, R), independent of
 // landmark order, so construction parallelizes per landmark with no
 // coordination (QbS-P).
+//
+// Bit-parallel extension (Akiba, Iwata & Yoshida, SIGMOD'13 §4.2): each
+// landmark r additionally selects S_r, its first <= 64 non-landmark
+// neighbours, and every vertex v stores two 64-bit masks relative to
+// d_G(r, v):
+//   S_r^{-1}(v) = { u in S_r : d_G(u, v) = d_G(r, v) - 1 }
+//   S_r^{ 0}(v) = { u in S_r : d_G(u, v) = d_G(r, v)     }
+// A query pair (s, t) with labels for r then refines the landmark route
+// d(s,r) + d(r,t) by -2 (common S^{-1} witness) or -1 (S^{-1}/S^0 cross
+// witness) without touching the graph, which certifies most d <= 2 pairs
+// straight from the labelling (core/sketch.h ComputeLabelBound).
 
 #ifndef QBS_CORE_LABELING_H_
 #define QBS_CORE_LABELING_H_
@@ -24,6 +35,17 @@
 #include "graph/graph.h"
 
 namespace qbs {
+
+// Per-(vertex, landmark) bit-parallel masks over the landmark's selected
+// neighbour set S_r (bit j = j-th entry of BpSelected(r)).
+struct BpMask {
+  uint64_t s_minus = 0;  // selected neighbours at distance d_G(r, v) - 1
+  uint64_t s_zero = 0;   // selected neighbours at distance d_G(r, v)
+
+  friend bool operator==(const BpMask& a, const BpMask& b) {
+    return a.s_minus == b.s_minus && a.s_zero == b.s_zero;
+  }
+};
 
 class PathLabeling {
  public:
@@ -66,11 +88,43 @@ class PathLabeling {
   // size(L) (the paper stores |R| fixed-width slots per vertex, as we do).
   uint64_t SizeBytes() const { return dist_.size() * sizeof(DistT); }
 
+  // --- Bit-parallel masks (optional; empty unless enabled at build). ---
+
+  bool has_bp_masks() const { return !bp_.empty(); }
+
+  // Allocates the mask matrix and the per-landmark selected-neighbour slots.
+  // Idempotent shape-wise; called by construction and the loader.
+  void EnableBpMasks();
+
+  BpMask GetBpMask(VertexId v, LandmarkIndex i) const {
+    return bp_[static_cast<size_t>(v) * num_landmarks() + i];
+  }
+  void SetBpMask(VertexId v, LandmarkIndex i, const BpMask& m) {
+    bp_[static_cast<size_t>(v) * num_landmarks() + i] = m;
+  }
+
+  // S_r of landmark i: the selected non-landmark neighbours, in the bit
+  // order the masks use. Empty when masks are disabled.
+  const std::vector<VertexId>& BpSelected(LandmarkIndex i) const {
+    return bp_selected_[i];
+  }
+  void SetBpSelected(LandmarkIndex i, std::vector<VertexId> selected);
+
+  // Bulk-fills the mask matrix from a landmark-major buffer, mirroring
+  // AssignFromColumns.
+  void AssignBpFromColumns(const std::vector<BpMask>& cols);
+
+  // Bytes of the bit-parallel mask matrix (reported separately from
+  // size(L) to keep the Table 3 quantity paper-comparable).
+  uint64_t BpSizeBytes() const { return bp_.size() * sizeof(BpMask); }
+
  private:
   VertexId num_vertices_ = 0;
   std::vector<VertexId> landmarks_;
   std::vector<int32_t> landmark_rank_;
   std::vector<DistT> dist_;
+  std::vector<BpMask> bp_;  // vertex-major |V| x |R|; empty = disabled
+  std::vector<std::vector<VertexId>> bp_selected_;  // S_r per landmark
 };
 
 struct LabelingScheme {
@@ -82,6 +136,10 @@ struct LabelingBuildOptions {
   // 1 = sequential (paper's QbS); 0 = hardware concurrency (QbS-P);
   // otherwise the exact thread count.
   size_t num_threads = 1;
+  // Build the Akiba-style bit-parallel masks alongside the labels. Costs
+  // two extra adjacency sweeps per landmark and 16 bytes per label slot;
+  // buys label-only d <= 2 answers and tighter upper bounds at query time.
+  bool bit_parallel = true;
 };
 
 // Runs Algorithm 2: one two-queue level-synchronous BFS per landmark.

@@ -28,6 +28,7 @@ QbsIndex QbsIndex::BuildWithLandmarks(const Graph& g,
   WallTimer timer;
   LabelingBuildOptions build_options;
   build_options.num_threads = options.num_threads;
+  build_options.bit_parallel = options.bit_parallel;
   index.scheme_ = std::make_unique<LabelingScheme>(
       BuildLabelingScheme(g, landmarks, build_options));
   index.timings_.labeling_seconds = timer.ElapsedSeconds();
@@ -134,7 +135,11 @@ uint32_t QbsIndex::DistanceUpperBound(VertexId u, VertexId v) const {
   QBS_CHECK_LT(u, g_->NumVertices());
   QBS_CHECK_LT(v, g_->NumVertices());
   if (u == v) return 0;
-  return ComputeSketch(scheme_->labeling, scheme_->meta, u, v).d_top;
+  const uint32_t d_top =
+      ComputeSketch(scheme_->labeling, scheme_->meta, u, v).d_top;
+  if (!scheme_->labeling.has_bp_masks()) return d_top;
+  return std::min(
+      d_top, ComputeLabelBound(scheme_->labeling, scheme_->meta, u, v).upper);
 }
 
 }  // namespace qbs

@@ -48,6 +48,12 @@ struct QbsOptions {
   // default — the paper's QbS includes Δ (Table 3 reports its size for
   // every dataset); turn off to trade query time for build time/space.
   bool precompute_delta = true;
+  // Build Akiba-style bit-parallel masks (the 64 nearest non-landmark
+  // neighbours of each landmark) alongside the labels. Queries then answer
+  // d(s, t) <= 2 pairs straight from the labelling — no sketch, search, or
+  // recover work — and DistanceUpperBound() tightens. Costs two extra
+  // adjacency sweeps per landmark at build and 16 bytes per label slot.
+  bool bit_parallel = true;
 };
 
 struct QbsBuildTimings {
@@ -112,9 +118,18 @@ class QbsIndex {
       const std::vector<std::pair<VertexId, VertexId>>& pairs,
       size_t num_threads = 0);
 
-  // The sketch upper bound d⊤ (Eq. 3) — an upper bound on d_G(u, v), tight
-  // whenever a shortest path crosses a landmark. O(|R|^2), no search.
+  // An upper bound on d_G(u, v): the sketch bound d⊤ (Eq. 3) — tight
+  // whenever a shortest path crosses a landmark — further tightened by the
+  // bit-parallel label bound when masks are present (tight whenever a
+  // shortest path crosses a landmark's selected neighbourhood). O(|R|^2),
+  // no search.
   uint32_t DistanceUpperBound(VertexId u, VertexId v) const;
+
+  // size(BP): bytes of the bit-parallel mask matrix (0 when built with
+  // bit_parallel = false).
+  uint64_t BpMaskSizeBytes() const {
+    return scheme_->labeling.BpSizeBytes();
+  }
 
   const std::vector<VertexId>& landmarks() const {
     return scheme_->labeling.landmarks();

@@ -37,14 +37,25 @@ struct SearchStats {
   uint64_t edges_scanned_recover = 0;
   // Segments served from the precomputed Δ cache.
   uint64_t delta_cache_hits = 0;
+  // Adjacency entries scanned by the label-guided d <= 2 direct resolution
+  // (edge probe + common-neighbour intersection). These scans replace the
+  // sketch + search machinery entirely for close pairs.
+  uint64_t edges_scanned_direct = 0;
+  // Queries resolved by the bit-parallel label fast path: distance and the
+  // full SPG produced with zero search/reverse/recover edge scans.
+  uint64_t label_short_circuits = 0;
 
   uint32_t d_top = kUnreachable;         // sketch upper bound d⊤
   uint32_t d_sparsified = kUnreachable;  // d_G⁻(u, v) when determined
+  // Bit-parallel label upper bound for this query (core/sketch.h
+  // ComputeLabelBound); kUnreachable when masks are disabled or no landmark
+  // is shared. Never smaller than the true distance.
+  uint32_t d_label_upper = kUnreachable;
   PairCoverage coverage = PairCoverage::kDisconnected;
 
   uint64_t TotalEdgesScanned() const {
     return edges_scanned_search + edges_scanned_reverse +
-           edges_scanned_recover;
+           edges_scanned_recover + edges_scanned_direct;
   }
 
   void Accumulate(const SearchStats& o) {
@@ -53,6 +64,8 @@ struct SearchStats {
     edges_scanned_reverse += o.edges_scanned_reverse;
     edges_scanned_recover += o.edges_scanned_recover;
     delta_cache_hits += o.delta_cache_hits;
+    edges_scanned_direct += o.edges_scanned_direct;
+    label_short_circuits += o.label_short_circuits;
   }
 };
 

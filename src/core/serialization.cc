@@ -3,12 +3,14 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <utility>
 #include <vector>
 
 namespace qbs {
 namespace {
 
-constexpr uint64_t kMagic = 0x3130584449534251ull;  // "QBSIDX01"
+constexpr uint64_t kMagicV1 = 0x3130584449534251ull;  // "QBSIDX01"
+constexpr uint64_t kMagicV2 = 0x3230584449534251ull;  // "QBSIDX02"
 
 template <typename T>
 void WritePod(std::ofstream& out, const T& value) {
@@ -21,23 +23,78 @@ bool ReadPod(std::ifstream& in, T* value) {
   return static_cast<bool>(in);
 }
 
+// Reads the optional bit-parallel section of a v2 file into *labeling.
+bool ReadBpSection(std::ifstream& in, PathLabeling* labeling) {
+  uint8_t has_bp = 0;
+  if (!ReadPod(in, &has_bp) || has_bp > 1) {
+    std::cerr << "LoadLabelingScheme: bad bit-parallel flag\n";
+    return false;
+  }
+  if (has_bp == 0) return true;
+  labeling->EnableBpMasks();
+  const uint32_t k = labeling->num_landmarks();
+  const VertexId n = labeling->num_vertices();
+  for (LandmarkIndex i = 0; i < k; ++i) {
+    uint32_t count = 0;
+    if (!ReadPod(in, &count) || count > 64) {
+      std::cerr << "LoadLabelingScheme: bad selected-neighbour count\n";
+      return false;
+    }
+    std::vector<VertexId> selected(count);
+    for (auto& w : selected) {
+      if (!ReadPod(in, &w) || w >= n) {
+        std::cerr << "LoadLabelingScheme: bad selected neighbour\n";
+        return false;
+      }
+    }
+    labeling->SetBpSelected(i, std::move(selected));
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    for (LandmarkIndex i = 0; i < k; ++i) {
+      BpMask m;
+      if (!ReadPod(in, &m.s_minus) || !ReadPod(in, &m.s_zero)) {
+        std::cerr << "LoadLabelingScheme: truncated masks\n";
+        return false;
+      }
+      labeling->SetBpMask(v, i, m);
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 bool SaveLabelingScheme(const LabelingScheme& scheme,
                         const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) {
-    std::cerr << "SaveLabelingScheme: cannot open " << path << std::endl;
+    std::cerr << "SaveLabelingScheme: cannot open " << path << '\n';
     return false;
   }
   const PathLabeling& l = scheme.labeling;
-  WritePod(out, kMagic);
+  WritePod(out, kMagicV2);
   WritePod(out, l.num_vertices());
   WritePod(out, l.num_landmarks());
   for (VertexId r : l.landmarks()) WritePod(out, r);
   for (VertexId v = 0; v < l.num_vertices(); ++v) {
     for (LandmarkIndex i = 0; i < l.num_landmarks(); ++i) {
       WritePod(out, l.Get(v, i));
+    }
+  }
+  const uint8_t has_bp = l.has_bp_masks() ? 1 : 0;
+  WritePod(out, has_bp);
+  if (has_bp != 0) {
+    for (LandmarkIndex i = 0; i < l.num_landmarks(); ++i) {
+      const auto& selected = l.BpSelected(i);
+      WritePod(out, static_cast<uint32_t>(selected.size()));
+      for (VertexId w : selected) WritePod(out, w);
+    }
+    for (VertexId v = 0; v < l.num_vertices(); ++v) {
+      for (LandmarkIndex i = 0; i < l.num_landmarks(); ++i) {
+        const BpMask m = l.GetBpMask(v, i);
+        WritePod(out, m.s_minus);
+        WritePod(out, m.s_zero);
+      }
     }
   }
   const auto& edges = scheme.meta.Edges();
@@ -53,21 +110,21 @@ bool SaveLabelingScheme(const LabelingScheme& scheme,
 std::optional<LabelingScheme> LoadLabelingScheme(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    std::cerr << "LoadLabelingScheme: cannot open " << path << std::endl;
+    std::cerr << "LoadLabelingScheme: cannot open " << path << '\n';
     return std::nullopt;
   }
   uint64_t magic = 0;
   VertexId num_vertices = 0;
   uint32_t k = 0;
-  if (!ReadPod(in, &magic) || magic != kMagic ||
+  if (!ReadPod(in, &magic) || (magic != kMagicV1 && magic != kMagicV2) ||
       !ReadPod(in, &num_vertices) || !ReadPod(in, &k)) {
-    std::cerr << "LoadLabelingScheme: bad header in " << path << std::endl;
+    std::cerr << "LoadLabelingScheme: bad header in " << path << '\n';
     return std::nullopt;
   }
   std::vector<VertexId> landmarks(k);
   for (auto& r : landmarks) {
     if (!ReadPod(in, &r) || r >= num_vertices) {
-      std::cerr << "LoadLabelingScheme: bad landmark" << std::endl;
+      std::cerr << "LoadLabelingScheme: bad landmark\n";
       return std::nullopt;
     }
   }
@@ -77,15 +134,18 @@ std::optional<LabelingScheme> LoadLabelingScheme(const std::string& path) {
     for (LandmarkIndex i = 0; i < k; ++i) {
       DistT d = kInfDist;
       if (!ReadPod(in, &d)) {
-        std::cerr << "LoadLabelingScheme: truncated labels" << std::endl;
+        std::cerr << "LoadLabelingScheme: truncated labels\n";
         return std::nullopt;
       }
       scheme.labeling.Set(v, i, d);
     }
   }
+  if (magic == kMagicV2 && !ReadBpSection(in, &scheme.labeling)) {
+    return std::nullopt;
+  }
   uint64_t num_edges = 0;
   if (!ReadPod(in, &num_edges)) {
-    std::cerr << "LoadLabelingScheme: truncated meta header" << std::endl;
+    std::cerr << "LoadLabelingScheme: truncated meta header\n";
     return std::nullopt;
   }
   scheme.meta = MetaGraph(k);
@@ -95,7 +155,7 @@ std::optional<LabelingScheme> LoadLabelingScheme(const std::string& path) {
     uint32_t w = 0;
     if (!ReadPod(in, &a) || !ReadPod(in, &b) || !ReadPod(in, &w) || a >= k ||
         b >= k || a == b || w == 0) {
-      std::cerr << "LoadLabelingScheme: bad meta edge" << std::endl;
+      std::cerr << "LoadLabelingScheme: bad meta edge\n";
       return std::nullopt;
     }
     scheme.meta.AddEdge(a, b, w);

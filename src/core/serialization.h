@@ -1,15 +1,23 @@
 // Binary persistence for the labelling scheme, so the offline phase runs
 // once and query servers load the precomputed index at startup.
 //
-// Format (version QBSIDX01, little-endian, host-endianness — the index is a
-// single-machine artifact like the paper's):
-//   u64  magic 'QBSIDX01'
+// Current format (version QBSIDX02, little-endian, host-endianness — the
+// index is a single-machine artifact like the paper's):
+//   u64  magic 'QBSIDX02'
 //   u32  num_vertices
 //   u32  num_landmarks k
 //   u32  landmarks[k]            (vertex ids)
 //   u16  labels[num_vertices*k]  (kInfDist = absent)
+//   u8   has_bp_masks            (0 or 1)
+//   if has_bp_masks:
+//     per landmark: u32 count (<= 64), u32 selected[count]  (vertex ids)
+//     (u64 s_minus, u64 s_zero) * num_vertices*k            (vertex-major)
 //   u64  num_meta_edges
 //   (u32 a, u32 b, u32 weight) * num_meta_edges
+//
+// Version QBSIDX01 is the same layout without the bit-parallel section;
+// the loader still reads v1 files (masks simply come back disabled, and
+// queries fall back to the sketch-guided search). Save() always writes v2.
 //
 // The Δ cache is intentionally not stored: rebuilding it from the loaded
 // labels is a fast parallel pass, and skipping it keeps files small.

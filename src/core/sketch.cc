@@ -6,10 +6,8 @@
 
 namespace qbs {
 
-namespace {
-
-void AnchorCandidatesInto(const PathLabeling& labeling, VertexId t,
-                          std::vector<SketchAnchor>* out) {
+void ComputeAnchorCandidatesInto(const PathLabeling& labeling, VertexId t,
+                                 std::vector<SketchAnchor>* out) {
   out->clear();
   const int32_t rank = labeling.LandmarkRank(t);
   if (rank >= 0) {
@@ -23,12 +21,10 @@ void AnchorCandidatesInto(const PathLabeling& labeling, VertexId t,
   }
 }
 
-}  // namespace
-
 std::vector<SketchAnchor> AnchorCandidates(const PathLabeling& labeling,
                                            VertexId t) {
   std::vector<SketchAnchor> out;
-  AnchorCandidatesInto(labeling, t, &out);
+  ComputeAnchorCandidatesInto(labeling, t, &out);
   return out;
 }
 
@@ -42,7 +38,8 @@ Sketch ComputeSketch(const PathLabeling& labeling, const MetaGraph& meta,
 
 void ComputeSketchInto(const PathLabeling& labeling, const MetaGraph& meta,
                        VertexId u, VertexId v, Sketch* sketch,
-                       SketchScratch* scratch, bool with_meta_edges) {
+                       SketchScratch* scratch, bool with_meta_edges,
+                       bool reuse_candidates) {
   QBS_DCHECK(meta.finalized());
   sketch->d_top = kUnreachable;
   sketch->u_anchors.clear();
@@ -51,8 +48,10 @@ void ComputeSketchInto(const PathLabeling& labeling, const MetaGraph& meta,
   sketch->d_star_u = 0;
   sketch->d_star_v = 0;
 
-  AnchorCandidatesInto(labeling, u, &scratch->cu);
-  AnchorCandidatesInto(labeling, v, &scratch->cv);
+  if (!reuse_candidates) {
+    ComputeAnchorCandidatesInto(labeling, u, &scratch->cu);
+    ComputeAnchorCandidatesInto(labeling, v, &scratch->cv);
+  }
 
   // Pass 1: d⊤ = min over candidate pairs (Eq. 3). Pairs with r == r'
   // (single common landmark) are included: d_M(r, r) = 0.
@@ -101,6 +100,75 @@ void ComputeSketchInto(const PathLabeling& labeling, const MetaGraph& meta,
       sketch->d_star_v = std::max<uint32_t>(sketch->d_star_v, b.delta - 1u);
     }
   }
+}
+
+LabelBound ComputeLabelBoundFromCandidates(
+    const PathLabeling& labeling, const std::vector<SketchAnchor>& cu,
+    const std::vector<SketchAnchor>& cv, VertexId u, VertexId v,
+    uint32_t refine_cutoff) {
+  QBS_DCHECK(u != v);
+  LabelBound bound;
+  const bool bp = labeling.has_bp_masks();
+  // Refinement subtracts at most 2, so candidates above this line cannot
+  // land at or below refine_cutoff; saturate so the default refines all.
+  const uint32_t max_refinable = refine_cutoff > kUnreachable - 2
+                                     ? kUnreachable
+                                     : refine_cutoff + 2;
+  // Sorted merge on landmark index (both rows ascend by construction).
+  size_t iu = 0;
+  size_t iv = 0;
+  while (iu < cu.size() && iv < cv.size()) {
+    if (cu[iu].landmark < cv[iv].landmark) {
+      ++iu;
+      continue;
+    }
+    if (cv[iv].landmark < cu[iu].landmark) {
+      ++iv;
+      continue;
+    }
+    const LandmarkIndex i = cu[iu].landmark;
+    const DistT du = cu[iu].delta;
+    const DistT dv = cv[iv].delta;
+    ++iu;
+    ++iv;
+    bound.lower = std::max<uint32_t>(bound.lower, du > dv ? du - dv : dv - du);
+    uint32_t cand = static_cast<uint32_t>(du) + dv;
+    if (bp && cand <= max_refinable) {
+      const BpMask mu = labeling.GetBpMask(u, i);
+      const BpMask mv = labeling.GetBpMask(v, i);
+      if ((mu.s_minus & mv.s_minus) != 0) {
+        cand -= 2;
+      } else if ((mu.s_minus & mv.s_zero) != 0 ||
+                 (mu.s_zero & mv.s_minus) != 0) {
+        cand -= 1;
+      }
+    }
+    bound.upper = std::min(bound.upper, cand);
+  }
+  return bound;
+}
+
+LabelBound ComputeLabelBound(const PathLabeling& labeling,
+                             const MetaGraph& meta, VertexId u, VertexId v,
+                             uint32_t refine_cutoff) {
+  QBS_DCHECK(u != v);
+  const int32_t rank_u = labeling.LandmarkRank(u);
+  const int32_t rank_v = labeling.LandmarkRank(v);
+  if (rank_u >= 0 && rank_v >= 0) {
+    // Landmark pair: d_M is the exact distance (Corollary 4.6).
+    LabelBound bound;
+    const uint32_t d = meta.Distance(static_cast<LandmarkIndex>(rank_u),
+                                     static_cast<LandmarkIndex>(rank_v));
+    bound.upper = d;
+    bound.lower = d == kUnreachable ? 0 : d;
+    return bound;
+  }
+  // A landmark endpoint contributes its virtual (rank, 0) entry, so the
+  // merge degenerates to the other side's label for that landmark — the
+  // exact distance when present.
+  return ComputeLabelBoundFromCandidates(
+      labeling, AnchorCandidates(labeling, u), AnchorCandidates(labeling, v),
+      u, v, refine_cutoff);
 }
 
 void ComputeSketchMetaEdges(const MetaGraph& meta, Sketch* sketch,

@@ -75,10 +75,21 @@ Sketch ComputeSketch(const PathLabeling& labeling, const MetaGraph& meta,
 // part) is skipped and sketch->meta_edges stays empty; call
 // ComputeSketchMetaEdges later to fill it. The guided search defers the
 // sweep this way because most queries resolve entirely inside the
-// sparsified graph and never read the meta-edges.
+// sparsified graph and never read the meta-edges. With reuse_candidates =
+// true, scratch->cu / scratch->cv are taken as already filled (by
+// ComputeAnchorCandidatesInto for the same u, v) instead of re-scanning
+// the label rows — the guided search shares one scan between the label
+// bound check and the sketch.
 void ComputeSketchInto(const PathLabeling& labeling, const MetaGraph& meta,
                        VertexId u, VertexId v, Sketch* sketch,
-                       SketchScratch* scratch, bool with_meta_edges = true);
+                       SketchScratch* scratch, bool with_meta_edges = true,
+                       bool reuse_candidates = false);
+
+// Allocation-free AnchorCandidates: clears and refills *out with the label
+// entries of `t` in ascending landmark order (or the single virtual entry
+// for a landmark).
+void ComputeAnchorCandidatesInto(const PathLabeling& labeling, VertexId t,
+                                 std::vector<SketchAnchor>* out);
 
 // Runs the deferred meta-edge sweep for a sketch produced by
 // ComputeSketchInto(..., /*with_meta_edges=*/false) with the same scratch
@@ -90,6 +101,46 @@ void ComputeSketchMetaEdges(const MetaGraph& meta, Sketch* sketch,
 // or {(rank(t), 0)} if t is a landmark.
 std::vector<SketchAnchor> AnchorCandidates(const PathLabeling& labeling,
                                            VertexId t);
+
+// Distance bounds on d_G(u, v) read from the labelling alone — one fused
+// scan of the two label rows, O(|R|), no graph access.
+struct LabelBound {
+  // max |δ_{u,r} - δ_{v,r}| over landmarks present in both labels (triangle
+  // inequality); 0 when the labels share no landmark.
+  uint32_t lower = 0;
+  // min over shared landmarks of δ_{u,r} + δ_{v,r}, refined by the
+  // bit-parallel masks when present: a common S_r^{-1} witness subtracts 2
+  // (the path u .. w .. v through the witness w skips r on both sides), an
+  // S^{-1}/S^0 cross witness subtracts 1. Every refined value is realized
+  // by an actual path, so this is a sound upper bound; kUnreachable when no
+  // landmark is shared.
+  uint32_t upper = kUnreachable;
+};
+
+// Computes LabelBound for (u, v). Landmark endpoints are handled via the
+// other side's label row (exact when present: the endpoint is itself the
+// landmark) or, for a landmark pair, the meta-graph APSP distance (exact by
+// Corollary 4.6 — the endpoints are landmarks on every path). Requires
+// u != v.
+//
+// `refine_cutoff` bounds the mask work: a landmark's masks are only
+// consulted when the unrefined candidate could drop to <= refine_cutoff
+// (refinement subtracts at most 2). The query hot path passes 2 — it only
+// acts on a certified d <= 2 — which skips the mask cache lines for every
+// farther landmark; the default refines everything (tightest bound).
+LabelBound ComputeLabelBound(const PathLabeling& labeling,
+                             const MetaGraph& meta, VertexId u, VertexId v,
+                             uint32_t refine_cutoff = kUnreachable);
+
+// As ComputeLabelBound for non-landmark-pair queries, over candidate rows
+// already produced by ComputeAnchorCandidatesInto(u) / (v) — a sorted
+// merge on landmark index, no label-row re-scan. (A landmark endpoint is
+// its single virtual entry; a landmark *pair* never shares a candidate, so
+// callers handle that case via MetaGraph::Distance first.)
+LabelBound ComputeLabelBoundFromCandidates(
+    const PathLabeling& labeling, const std::vector<SketchAnchor>& cu,
+    const std::vector<SketchAnchor>& cv, VertexId u, VertexId v,
+    uint32_t refine_cutoff = kUnreachable);
 
 }  // namespace qbs
 

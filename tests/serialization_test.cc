@@ -97,5 +97,57 @@ TEST_F(SerializationTest, MissingFile) {
   EXPECT_FALSE(LoadLabelingScheme("/nonexistent/index.qbs").has_value());
 }
 
+// The committed fixture was written by the v1 (QBSIDX01) writer, before the
+// bit-parallel mask section existed. The v2 loader must still read it:
+// identical labels and meta-graph, masks disabled.
+TEST_F(SerializationTest, LoadsV1FormatFixture) {
+  const std::string fixture =
+      std::string(QBS_TEST_DATA_DIR) + "/figure4_v1.qbsidx";
+  auto loaded = LoadLabelingScheme(fixture);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_FALSE(loaded->labeling.has_bp_masks());
+
+  Graph g = testing::Figure4Graph();
+  const auto fresh = BuildLabelingScheme(g, testing::Figure4Landmarks());
+  ASSERT_EQ(loaded->labeling.landmarks(), fresh.labeling.landmarks());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (LandmarkIndex i = 0; i < fresh.labeling.num_landmarks(); ++i) {
+      EXPECT_EQ(loaded->labeling.Get(v, i), fresh.labeling.Get(v, i))
+          << "v=" << v << " i=" << i;
+    }
+  }
+  EXPECT_EQ(loaded->meta.Edges(), fresh.meta.Edges());
+
+  // A v1 file still finishes into a working index: queries agree with the
+  // oracle (falling back to the sketch-guided search, no masks).
+  auto index = QbsIndex::LoadFromFile(g, fixture);
+  ASSERT_TRUE(index.has_value());
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      SearchStats stats;
+      ASSERT_EQ(index->Query(u, v, &stats), SpgByDoubleBfs(g, u, v))
+          << "u=" << u << " v=" << v;
+      ASSERT_EQ(stats.label_short_circuits, 0u);
+    }
+  }
+}
+
+// A freshly saved (v2) file round-trips the mask section; disabling masks
+// at build keeps the section empty and the loader agrees.
+TEST_F(SerializationTest, V2RoundTripWithoutMasks) {
+  Graph g = BarabasiAlbert(200, 2, 13);
+  QbsOptions options;
+  options.num_landmarks = 6;
+  options.bit_parallel = false;
+  QbsIndex built = QbsIndex::Build(g, options);
+  ASSERT_TRUE(built.Save(path_));
+  auto loaded = QbsIndex::LoadFromFile(g, path_, options);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_FALSE(loaded->labeling().has_bp_masks());
+  for (const auto& [u, v] : SampleQueryPairs(g, 30, 13)) {
+    ASSERT_EQ(loaded->Query(u, v), built.Query(u, v));
+  }
+}
+
 }  // namespace
 }  // namespace qbs
