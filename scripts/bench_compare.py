@@ -15,6 +15,13 @@ A regression is a current value exceeding baseline * threshold with an
 absolute increase of at least the per-unit noise floor (--min-ms /
 --min-s); micro-benchmark noise must not fail CI.
 
+Cells that cannot be compared meaningfully are skipped with a warning
+instead of gating: a zero (or negative) baseline has no ratio — the
+formatter truncates sub-resolution timings to 0.00, and flagging
+"0.00 -> anything" as an N-fold regression would fail CI on timer
+granularity — and non-finite values (inf/nan from a crashed or division-
+degenerate bench cell) are equally meaningless to gate on.
+
 A missing or unreadable *baseline* is not an error: the first run on a
 fresh branch has no artifact to compare against, so the script warns and
 passes (exit 0). A missing *current* dump is still an error — the bench
@@ -29,6 +36,7 @@ Exit codes: 0 = ok (or nothing comparable / no baseline), 1 = regression,
 """
 
 import argparse
+import math
 import sys
 
 
@@ -105,12 +113,17 @@ def main():
                 c = float(cur_val)
             except ValueError:
                 continue  # DNF / OOE / "-" markers
+            if not (math.isfinite(b) and math.isfinite(c)) or b <= 0 or c < 0:
+                print(f"bench_compare: skipping uncomparable {kind} cell "
+                      f"{key[1]}/{col}: baseline={base_val} "
+                      f"current={cur_val}", file=sys.stderr)
+                continue
             compared += 1
             status = "ok"
             if c > b * args.threshold and c - b >= floor:
                 status = "REGRESSION"
                 regressions.append((key[1], col, kind, b, c))
-            ratio = c / b if b > 0 else float("inf")
+            ratio = c / b
             print(f"{key[1]:>12} {col:>12}: {b:9.4f} -> {c:9.4f} "
                   f"({ratio:5.2f}x) {status}")
 

@@ -63,6 +63,21 @@ ShortestPathGraph GuidedSearcher::Query(VertexId u, VertexId v,
     ComputeSketchInto(labeling_, meta_, u, v, &sketch_scratch_,
                       &sketch_buffers_, /*with_meta_edges=*/false,
                       /*reuse_candidates=*/true);
+    const uint32_t d_top = sketch_scratch_.d_top;
+    if (mask_prune_ && d_top != kUnreachable &&
+        d_top >= kMaskPruneMinBudget && !labeling_.IsLandmark(u) &&
+        !labeling_.IsLandmark(v)) {
+      // Refined bound for a long-range search the fast path could not
+      // avoid: the refined upper caps the stage-1 budget below d⊤ when a
+      // mask witness shortens the best landmark route. Cutoff d⊤ - 1 keeps
+      // the mask cache lines untouched for any landmark whose route cannot
+      // undercut the sketch bound, and the d⊤ gate skips the whole merge
+      // for short searches, whose few small levels cost less than the
+      // bound — those run the PR 3 query path unchanged.
+      query_bound_ = ComputeLabelBoundFromCandidates(
+          labeling_, sketch_buffers_.cu, sketch_buffers_.cv, u, v, d_top - 1);
+      have_query_bound_ = true;
+    }
     lazy_sketch_ = true;
     return QueryWithSketch(u, v, sketch_scratch_, stats);
   }
@@ -193,17 +208,56 @@ int GuidedSearcher::PickSide(const Sketch& sketch, const uint32_t d[2]) const {
   return levels_[0].TotalSize() <= levels_[1].TotalSize() ? 0 : 1;
 }
 
+bool GuidedSearcher::LabelLowerBoundExceeds(VertexId x, VertexId other,
+                                            uint32_t threshold) const {
+  const uint32_t k = labeling_.num_landmarks();
+  for (LandmarkIndex i = 0; i < k; ++i) {
+    const DistT dx = labeling_.Get(x, i);
+    if (dx == kInfDist) continue;
+    const DistT dother = labeling_.Get(other, i);
+    if (dother == kInfDist) continue;
+    const uint32_t base = dx > dother ? dx - dother : dother - dx;
+    if (base > threshold) return true;
+    if (base == threshold &&
+        BpMaskLowerLift(labeling_.GetBpMask(x, i),
+                        labeling_.GetBpMask(other, i), dx, dother)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void GuidedSearcher::ExpandLevel(int t, SearchStats* stats) {
   const int o = 1 - t;
   const uint32_t next_depth = static_cast<uint32_t>(levels_[t].NumLevels());
+  // A vertex at this depth only matters if some u–v path of length <=
+  // budget runs through it, which needs lb(x, far endpoint) <= budget -
+  // depth; anything the labels certify farther is skipped whole-adjacency.
+  // Sound because a vertex on any length-<= budget G⁻ path always passes
+  // the test (lb never exceeds the true distance), so every meet and every
+  // reverse/Z-walk parent the later stages read is still discovered at its
+  // true depth.
+  const uint32_t cur_depth = next_depth - 1;
+  const bool prune = prune_active_ && prune_budget_ != kUnreachable &&
+                     prune_budget_ >= cur_depth;
+  const uint32_t threshold = prune_budget_ - cur_depth;
   // Open the next level first so the current level's bounds are frozen,
   // then iterate by index: Push may reallocate the flat buffer.
   levels_[t].BeginLevel();
   crossing_[t].BeginLevel();  // pairs (x @ next_depth-1, w @ next_depth)
   const size_t begin = levels_[t].LevelBegin(next_depth - 1);
   const size_t end = levels_[t].LevelEnd(next_depth - 1);
+  // The row check costs O(|R|); it can only pay for vertices whose
+  // adjacency scan is at least comparable, so low-degree vertices expand
+  // unchecked.
+  const uint32_t min_check_degree = (labeling_.num_landmarks() + 1) / 2;
   for (size_t idx = begin; idx < end; ++idx) {
     const VertexId x = levels_[t].At(idx);
+    if (prune && gminus_->Degree(x) >= min_check_degree &&
+        LabelLowerBoundExceeds(x, prune_other_[t], threshold)) {
+      ++stats->lb_prunes;
+      continue;
+    }
     stats->edges_scanned_search += gminus_->Degree(x);
     stats->landmark_edges_skipped += g_.Degree(x) - gminus_->Degree(x);
     for (VertexId w : gminus_->Neighbors(x)) {
@@ -283,9 +337,17 @@ ShortestPathGraph GuidedSearcher::QueryWithSketch(VertexId u, VertexId v,
   QBS_CHECK_LT(v, g_.NumVertices());
   const bool lazy_sketch = lazy_sketch_;
   lazy_sketch_ = false;
+  // Label bound handed over by Query(); direct callers get the neutral
+  // default (upper = ∞, lower = 0), i.e. the unpruned search.
+  const LabelBound label_bound =
+      have_query_bound_ ? query_bound_ : LabelBound{};
+  have_query_bound_ = false;
   SearchStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   stats->d_top = sketch.d_top;
+  if (label_bound.upper != kUnreachable) {
+    stats->d_label_upper = label_bound.upper;
+  }
 
   ShortestPathGraph result;
   result.u = u;
@@ -325,8 +387,25 @@ ShortestPathGraph GuidedSearcher::QueryWithSketch(VertexId u, VertexId v,
   uint32_t d[2] = {0, 0};
   bool meet = false;
   if (!u_lm && !v_lm) {
-    const bool bounded = sketch.d_top != kUnreachable;
-    while (!bounded || d[0] + d[1] < sketch.d_top) {
+    // Search budget: meets beyond it cannot change the answer. The refined
+    // label upper bound can undercut d⊤ (a mask witness shortens the best
+    // landmark route by up to 2); then d_G < d⊤, so no shortest path
+    // crosses a landmark (Corollary 4.6 is tight for landmark-crossing
+    // pairs), d_G⁻ = d_G <= budget, and the meet still happens in budget.
+    const uint32_t budget = std::min(sketch.d_top, label_bound.upper);
+    // Per-vertex pruning is gated on the masks (like the d <= 2 direct
+    // emission below) so bit_parallel = false reproduces the pre-mask
+    // traversal exactly, and on a long-range budget (kMaskPruneMinBudget):
+    // on small-diameter budgets every vertex sits within a landmark hop or
+    // two of both endpoints, |δ_x - δ_o| never clears the threshold, and
+    // the O(|R|) row check per frontier vertex would be pure overhead.
+    prune_active_ = mask_prune_ && labeling_.has_bp_masks() &&
+                    budget != kUnreachable && budget >= kMaskPruneMinBudget;
+    prune_budget_ = budget;
+    prune_other_[0] = v;
+    prune_other_[1] = u;
+    const bool bounded = budget != kUnreachable;
+    while (!bounded || d[0] + d[1] < budget) {
       if (levels_[0].LevelSize(d[0]) == 0 || levels_[1].LevelSize(d[1]) == 0) {
         break;  // G⁻ exhausted on one side: d_G⁻(u, v) = ∞.
       }
@@ -338,6 +417,7 @@ ShortestPathGraph GuidedSearcher::QueryWithSketch(VertexId u, VertexId v,
         break;
       }
     }
+    prune_active_ = false;
   }
 
   const uint32_t d_minus = meet ? d[0] + d[1] : kUnreachable;

@@ -50,6 +50,43 @@ inline void Settle(VertexId v, bool via_l, uint32_t next_depth,
   }
 }
 
+// Top-down expansion of one frontier queue. With kBp, the expanding
+// vertex's (final) S^{-1} mask is ORed into every neighbour at the next
+// level — the scan already visits every parent edge, including those into
+// vertices another parent discovered first, so the fused propagation costs
+// no extra traversals. A zero mask propagates nothing and takes the plain
+// loop.
+template <bool kBp>
+void ExpandTopDown(const Graph& g, const PathLabeling& labeling,
+                   LandmarkIndex i, DistT* col,
+                   std::vector<MetaEdge>* meta_edges, BfsScratch* s,
+                   DirOptController* dir, [[maybe_unused]] BpMask* bp_col,
+                   const std::vector<VertexId>& frontier, bool via_l,
+                   uint32_t next_depth) {
+  for (const VertexId u : frontier) {
+    if constexpr (kBp) {
+      const uint64_t mu = bp_col[u].s_minus;
+      if (mu != 0) {
+        for (VertexId v : g.Neighbors(u)) {
+          if (s->depth[v] == kUnreachable) {
+            Settle(v, via_l, next_depth, labeling, i, col, meta_edges, s);
+            dir->Scout(g.Degree(v));
+            bp_col[v].s_minus |= mu;
+          } else if (s->depth[v] == next_depth) {
+            bp_col[v].s_minus |= mu;
+          }
+        }
+        continue;
+      }
+    }
+    for (VertexId v : g.Neighbors(u)) {
+      if (s->depth[v] != kUnreachable) continue;
+      Settle(v, via_l, next_depth, labeling, i, col, meta_edges, s);
+      dir->Scout(g.Degree(v));
+    }
+  }
+}
+
 // Algorithm 2, one landmark: a level-synchronous BFS from landmarks[i] with
 // two queues (QL / QN) on the shared frontier substrate. QL classification
 // takes priority: a vertex reachable both ways at the same depth counts as
@@ -57,9 +94,28 @@ inline void Settle(VertexId v, bool via_l, uint32_t next_depth,
 // neighbourhood for a QL parent first, then a QN parent), which preserves
 // the priority rule and cuts the per-landmark full-graph sweep — the
 // construction-time hot path (Fig. 10) — to a fraction of its edges.
-void LabelFromLandmark(const Graph& g, const PathLabeling& labeling,
-                       LandmarkIndex i, DistT* col,
-                       std::vector<MetaEdge>* meta_edges, BfsScratch* s) {
+//
+// With kBp set, the BFS also builds this landmark's S^{-1} masks inline
+// (bp_col non-null, pre-zeroed, seeded here with the selected neighbours),
+// replacing the reference replay's full ~2|E| S^{-1} sweep:
+//   * top-down levels OR the expanding vertex's final mask into every
+//     neighbour at the next level — exactly the parent edges the replay
+//     sweep re-derives, at zero extra edge traversals;
+//   * bottom-up levels keep their first-parent early exit (the pull cannot
+//     collect every parent mask without forfeiting its main win) and
+//     instead scatter masks afterwards from the frontier vertices whose
+//     mask is nonzero. Masks are sparse — only <= 64 of a hub landmark's
+//     neighbours are seeded, and bits spread no faster than the seeds'
+//     neighbourhoods — so the scatter touches a small slice of the level's
+//     adjacency where the replay sweep re-scans all of it.
+// Level synchrony makes a level's masks final before the next level reads
+// them, which is what makes the inline propagation equal to the
+// level-ordered reference sweep bit for bit.
+template <bool kBp>
+void LabelFromLandmarkImpl(const Graph& g, const PathLabeling& labeling,
+                           LandmarkIndex i, DistT* col,
+                           std::vector<MetaEdge>* meta_edges, BfsScratch* s,
+                           BpMask* bp_col) {
   const VertexId root = labeling.LandmarkVertex(i);
   const VertexId n = g.NumVertices();
   s->depth.assign(n, kUnreachable);
@@ -70,9 +126,18 @@ void LabelFromLandmark(const Graph& g, const PathLabeling& labeling,
   s->order.push_back(root);
   s->cur_l.push_back(root);
 
-  uint64_t edges_remaining = 2 * g.NumEdges();
-  uint64_t scout_count = g.Degree(root);
-  bool bottom_up = false;
+  if constexpr (kBp) {
+    // Seed bit j at u_j itself: d(u_j, u_j) = 0 = depth(u_j) - 1. All
+    // selected vertices are non-landmark neighbours of the root, so they
+    // settle at depth 1 and the seed is their whole mask.
+    const auto& selected = labeling.BpSelected(i);
+    for (size_t j = 0; j < selected.size(); ++j) {
+      bp_col[selected[j]].s_minus = 1ull << j;
+    }
+  }
+
+  DirOptController dir(s->policy, n, g.NumEdges());
+  dir.Scout(g.Degree(root));
 
   uint32_t level = 0;
   while (!s->cur_l.empty() || !s->cur_n.empty()) {
@@ -81,14 +146,7 @@ void LabelFromLandmark(const Graph& g, const PathLabeling& labeling,
     const uint32_t next_depth = level + 1;
     QBS_CHECK_LT(next_depth, static_cast<uint32_t>(kInfDist));
 
-    if (!bottom_up && scout_count > edges_remaining / s->policy.alpha) {
-      bottom_up = true;
-    } else if (bottom_up &&
-               s->cur_l.size() + s->cur_n.size() < n / s->policy.beta) {
-      bottom_up = false;
-    }
-    edges_remaining -= scout_count;
-    scout_count = 0;
+    const bool bottom_up = dir.Step(s->cur_l.size() + s->cur_n.size());
 
     if (bottom_up) {
       s->bits_l.Resize(n);
@@ -109,32 +167,75 @@ void LabelFromLandmark(const Graph& g, const PathLabeling& labeling,
         }
         if (!via_l && !via_n) continue;
         Settle(v, via_l, next_depth, labeling, i, col, meta_edges, s);
-        scout_count += g.Degree(v);
+        dir.Scout(g.Degree(v));
+      }
+      if constexpr (kBp) {
+        // The early-exit pull saw only a fraction of the parent edges, so
+        // this level's S^{-1} still has to flow. Two exact ways to move it;
+        // pick the cheaper by adjacency volume (the masks' own
+        // direction-optimization):
+        //   scatter — from frontier vertices whose mask is nonzero (zero
+        //   masks propagate nothing; right after the seeds, that is a
+        //   handful of vertices);
+        //   gather — every just-settled vertex ORs its depth-(d-1)
+        //   neighbours (right when a small tail level hangs off a huge
+        //   frontier).
+        uint64_t vol_scatter = 0;
+        for (const VertexId w : s->cur_l) {
+          if (bp_col[w].s_minus != 0) vol_scatter += g.Degree(w);
+        }
+        for (const VertexId w : s->cur_n) {
+          if (bp_col[w].s_minus != 0) vol_scatter += g.Degree(w);
+        }
+        uint64_t vol_gather = 0;
+        for (const VertexId v : s->next_l) vol_gather += g.Degree(v);
+        for (const VertexId v : s->next_n) vol_gather += g.Degree(v);
+        if (vol_scatter <= vol_gather) {
+          auto scatter = [&](const std::vector<VertexId>& frontier) {
+            for (const VertexId w : frontier) {
+              const uint64_t m = bp_col[w].s_minus;
+              if (m == 0) continue;
+              for (VertexId v : g.Neighbors(w)) {
+                if (s->depth[v] == next_depth) bp_col[v].s_minus |= m;
+              }
+            }
+          };
+          scatter(s->cur_l);
+          scatter(s->cur_n);
+        } else {
+          auto gather = [&](const std::vector<VertexId>& settled) {
+            for (const VertexId v : settled) {
+              uint64_t m = 0;
+              for (VertexId w : g.Neighbors(v)) {
+                if (s->depth[w] == level) m |= bp_col[w].s_minus;
+              }
+              bp_col[v].s_minus |= m;  // |=: level-1 seeds must survive
+            }
+          };
+          gather(s->next_l);
+          gather(s->next_n);
+        }
       }
     } else {
       // QL is expanded before QN at each level, so a vertex reachable both
       // ways at the same depth is classified QL.
-      for (VertexId u : s->cur_l) {
-        for (VertexId v : g.Neighbors(u)) {
-          if (s->depth[v] != kUnreachable) continue;
-          Settle(v, /*via_l=*/true, next_depth, labeling, i, col, meta_edges,
-                 s);
-          scout_count += g.Degree(v);
-        }
-      }
-      for (VertexId u : s->cur_n) {
-        for (VertexId v : g.Neighbors(u)) {
-          if (s->depth[v] != kUnreachable) continue;
-          Settle(v, /*via_l=*/false, next_depth, labeling, i, col, meta_edges,
-                 s);
-          scout_count += g.Degree(v);
-        }
-      }
+      ExpandTopDown<kBp>(g, labeling, i, col, meta_edges, s, &dir, bp_col,
+                         s->cur_l, /*via_l=*/true, next_depth);
+      ExpandTopDown<kBp>(g, labeling, i, col, meta_edges, s, &dir, bp_col,
+                         s->cur_n, /*via_l=*/false, next_depth);
     }
     std::swap(s->cur_l, s->next_l);
     std::swap(s->cur_n, s->next_n);
     ++level;
   }
+}
+
+// Non-fused entry: the BFS alone. Mask columns are then filled by the
+// two-sweep replay (ComputeBpColumn) if requested.
+void LabelFromLandmark(const Graph& g, const PathLabeling& labeling,
+                       LandmarkIndex i, DistT* col,
+                       std::vector<MetaEdge>* meta_edges, BfsScratch* s) {
+  LabelFromLandmarkImpl<false>(g, labeling, i, col, meta_edges, s, nullptr);
 }
 
 // Selects S_r for the landmark rooted at `root`: its first <= 64
@@ -149,6 +250,105 @@ std::vector<VertexId> SelectBpNeighbors(const Graph& g,
     if (selected.size() == 64) break;
   }
   return selected;
+}
+
+// The S^0 gather kernel over order[begin, end): each vertex ORs same-level
+// neighbours' S^{-1} and parents' S^0, minus its own S^{-1}. Requires
+// parents' s_zero to be final, which the settle order guarantees for both
+// the full replay sweep and the fused path's per-level ranges — keep this
+// the single definition of the recurrence, or the fused-vs-replay
+// bit-identity breaks.
+void GatherBpSZero(const Graph& g, const std::vector<uint32_t>& depth,
+                   const std::vector<VertexId>& order, size_t begin,
+                   size_t end, BpMask* col) {
+  for (size_t idx = begin; idx < end; ++idx) {
+    const VertexId v = order[idx];
+    const uint32_t d = depth[v];
+    if (d == 0) continue;
+    uint64_t z = 0;
+    for (VertexId w : g.Neighbors(v)) {
+      if (depth[w] == d) {
+        z |= col[w].s_minus;
+      } else if (depth[w] + 1 == d) {
+        z |= col[w].s_zero;
+      }
+    }
+    col[v].s_zero = z & ~col[v].s_minus;
+  }
+}
+
+// The replay S^0 sweep (same-level masks are not final while a level
+// expands, so S^0 never fuses into the BFS itself): S^0 candidates come
+// from same-level neighbours' S^{-1} AND parents' S^0, replayed in settle
+// order so parents' S^0 is final before their children's, minus S^{-1}(v).
+void ComputeBpSZeroSweep(const Graph& g, const std::vector<uint32_t>& depth,
+                         const std::vector<VertexId>& order, BpMask* col) {
+  GatherBpSZero(g, depth, order, 0, order.size(), col);
+}
+
+// The fused-path S^0 sweep: per-level direction choice between the gather
+// above (every level vertex scans its adjacency) and zero-skipping
+// scatters (only vertices whose mask is nonzero push it — a zero mask
+// contributes nothing to any neighbour). Per level d of the level-sorted
+// settle order, scatter means:
+//   1. parents at d-1 with nonzero (finalized) S^0 push it to depth-d
+//      neighbours;
+//   2. level-d vertices with nonzero S^{-1} push it to same-depth
+//      neighbours;
+//   3. the level finalizes: s_zero &= ~s_minus.
+// Step 3 of level d-1 runs before step 1 of level d, so parents always
+// push finalized masks — the same ordering the settle-order gather relies
+// on, hence bit-identical results whichever direction each level picks.
+void ComputeBpSZeroFused(const Graph& g, const std::vector<uint32_t>& depth,
+                         const std::vector<VertexId>& order, BpMask* col) {
+  size_t prev_begin = 0;
+  size_t prev_end = 0;
+  size_t begin = 0;
+  while (begin < order.size()) {
+    const uint32_t d = depth[order[begin]];
+    size_t end = begin;
+    while (end < order.size() && depth[order[end]] == d) ++end;
+
+    uint64_t vol_gather = 0;
+    for (size_t idx = begin; idx < end; ++idx) {
+      vol_gather += g.Degree(order[idx]);
+    }
+    uint64_t vol_scatter = 0;
+    for (size_t idx = prev_begin; idx < prev_end; ++idx) {
+      if (col[order[idx]].s_zero != 0) vol_scatter += g.Degree(order[idx]);
+    }
+    for (size_t idx = begin; idx < end; ++idx) {
+      if (col[order[idx]].s_minus != 0) vol_scatter += g.Degree(order[idx]);
+    }
+
+    if (vol_scatter <= vol_gather) {
+      for (size_t idx = prev_begin; idx < prev_end; ++idx) {
+        const VertexId w = order[idx];
+        const uint64_t z = col[w].s_zero;
+        if (z == 0) continue;
+        for (VertexId v : g.Neighbors(w)) {
+          if (depth[v] == d) col[v].s_zero |= z;
+        }
+      }
+      for (size_t idx = begin; idx < end; ++idx) {
+        const VertexId w = order[idx];
+        const uint64_t m = col[w].s_minus;
+        if (m == 0) continue;
+        for (VertexId v : g.Neighbors(w)) {
+          if (depth[v] == d) col[v].s_zero |= m;
+        }
+      }
+      for (size_t idx = begin; idx < end; ++idx) {
+        const VertexId v = order[idx];
+        col[v].s_zero &= ~col[v].s_minus;
+      }
+    } else {
+      GatherBpSZero(g, depth, order, begin, end, col);
+    }
+    prev_begin = begin;
+    prev_end = end;
+    begin = end;
+  }
 }
 
 // Fills this landmark's mask column from the finished BFS (depth array +
@@ -182,19 +382,7 @@ void ComputeBpColumn(const Graph& g, const std::vector<VertexId>& selected,
     }
     col[v].s_minus = m;
   }
-  for (const VertexId v : order) {
-    const uint32_t d = depth[v];
-    if (d == 0) continue;
-    uint64_t z = 0;
-    for (VertexId w : g.Neighbors(v)) {
-      if (depth[w] == d) {
-        z |= col[w].s_minus;
-      } else if (depth[w] + 1 == d) {
-        z |= col[w].s_zero;
-      }
-    }
-    col[v].s_zero = z & ~col[v].s_minus;
-  }
+  ComputeBpSZeroSweep(g, depth, order, col);
 }
 
 }  // namespace
@@ -307,14 +495,28 @@ LabelingScheme BuildLabelingScheme(const Graph& g,
   }
 
   ParallelFor(k, workers, [&](size_t i, size_t worker) {
+    DistT* label_col =
+        cols.data() + i * static_cast<size_t>(g.NumVertices());
+    BpMask* bp_col =
+        options.bit_parallel
+            ? bp_cols.data() + i * static_cast<size_t>(g.NumVertices())
+            : nullptr;
+    if (options.bit_parallel && options.bp_fused) {
+      // Fused: the BFS propagates S^{-1} inline; S^0 follows by per-level
+      // zero-skipping scatters instead of a full replay sweep.
+      LabelFromLandmarkImpl<true>(g, scheme.labeling,
+                                  static_cast<LandmarkIndex>(i), label_col,
+                                  &local_meta[i], &scratch[worker], bp_col);
+      ComputeBpSZeroFused(g, scratch[worker].depth, scratch[worker].order,
+                          bp_col);
+      return;
+    }
     LabelFromLandmark(g, scheme.labeling, static_cast<LandmarkIndex>(i),
-                      cols.data() + i * static_cast<size_t>(g.NumVertices()),
-                      &local_meta[i], &scratch[worker]);
+                      label_col, &local_meta[i], &scratch[worker]);
     if (options.bit_parallel) {
       ComputeBpColumn(
           g, scheme.labeling.BpSelected(static_cast<LandmarkIndex>(i)),
-          scratch[worker].depth, scratch[worker].order,
-          bp_cols.data() + i * static_cast<size_t>(g.NumVertices()));
+          scratch[worker].depth, scratch[worker].order, bp_col);
     }
   });
   scheme.labeling.AssignFromColumns(cols);

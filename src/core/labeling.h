@@ -137,9 +137,17 @@ struct LabelingBuildOptions {
   // otherwise the exact thread count.
   size_t num_threads = 1;
   // Build the Akiba-style bit-parallel masks alongside the labels. Costs
-  // two extra adjacency sweeps per landmark and 16 bytes per label slot;
-  // buys label-only d <= 2 answers and tighter upper bounds at query time.
+  // 16 bytes per label slot; buys label-only d <= 2 answers and tighter
+  // distance bounds at query time.
   bool bit_parallel = true;
+  // Fuse the S^{-1} mask propagation into the labelling BFS itself:
+  // top-down levels OR parent masks along the edges the expansion scans
+  // anyway, and bottom-up levels collect them during the (full-adjacency)
+  // pull, so only the S^0 sweep replays the settle order afterwards —
+  // one post-BFS sweep per landmark instead of two. Off = the reference
+  // two-sweep replay (kept for the bit-identity equivalence tests and the
+  // fused-vs-replay ablation). Masks are identical either way.
+  bool bp_fused = true;
 };
 
 // Runs Algorithm 2: one two-queue level-synchronous BFS per landmark.

@@ -29,6 +29,8 @@ QbsIndex QbsIndex::BuildWithLandmarks(const Graph& g,
   LabelingBuildOptions build_options;
   build_options.num_threads = options.num_threads;
   build_options.bit_parallel = options.bit_parallel;
+  build_options.bp_fused = options.bp_fused;
+  index.mask_prune_ = options.mask_prune;
   index.scheme_ = std::make_unique<LabelingScheme>(
       BuildLabelingScheme(g, landmarks, build_options));
   index.timings_.labeling_seconds = timer.ElapsedSeconds();
@@ -46,6 +48,7 @@ QbsIndex QbsIndex::BuildWithLandmarks(const Graph& g,
   index.searcher_ = std::make_unique<GuidedSearcher>(
       g, *index.sparsified_, index.scheme_->labeling, index.scheme_->meta,
       index.delta_.get());
+  index.searcher_->set_mask_prune(index.mask_prune_);
   return index;
 }
 
@@ -62,6 +65,7 @@ std::optional<QbsIndex> QbsIndex::LoadFromFile(const Graph& g,
   }
   QbsIndex index;
   index.g_ = &g;
+  index.mask_prune_ = options.mask_prune;
   index.scheme_ = std::make_unique<LabelingScheme>(std::move(*scheme));
   if (options.precompute_delta) {
     WallTimer timer;
@@ -75,6 +79,7 @@ std::optional<QbsIndex> QbsIndex::LoadFromFile(const Graph& g,
   index.searcher_ = std::make_unique<GuidedSearcher>(
       g, *index.sparsified_, index.scheme_->labeling, index.scheme_->meta,
       index.delta_.get());
+  index.searcher_->set_mask_prune(index.mask_prune_);
   return index;
 }
 
@@ -87,6 +92,48 @@ ShortestPathGraph QbsIndex::Query(VertexId u, VertexId v,
   return searcher_->Query(u, v, stats);
 }
 
+QbsIndex::SearcherLease::SearcherLease(QbsIndex& index, size_t count)
+    : index_(index) {
+  searchers_.reserve(count);
+  {
+    std::lock_guard<std::mutex> lock(*index_.batch_searchers_mu_);
+    while (!index_.batch_searchers_.empty() && searchers_.size() < count) {
+      searchers_.push_back(std::move(index_.batch_searchers_.back()));
+      index_.batch_searchers_.pop_back();
+    }
+  }
+  try {
+    while (searchers_.size() < count) {
+      auto searcher = std::make_unique<GuidedSearcher>(
+          *index_.g_, *index_.sparsified_, index_.scheme_->labeling,
+          index_.scheme_->meta, index_.delta_.get());
+      searcher->set_mask_prune(index_.mask_prune_);
+      searchers_.push_back(std::move(searcher));
+    }
+  } catch (...) {
+    // A failed top-up (searcher construction is O(|V|) of allocation) must
+    // not eat what was already checked out: the destructor will not run
+    // for a throwing constructor, so check everything back in here.
+    std::lock_guard<std::mutex> lock(*index_.batch_searchers_mu_);
+    for (auto& s : searchers_) {
+      index_.batch_searchers_.push_back(std::move(s));
+    }
+    throw;
+  }
+}
+
+QbsIndex::SearcherLease::~SearcherLease() {
+  std::lock_guard<std::mutex> lock(*index_.batch_searchers_mu_);
+  for (auto& s : searchers_) {
+    index_.batch_searchers_.push_back(std::move(s));
+  }
+}
+
+size_t QbsIndex::BatchSearcherPoolSize() const {
+  std::lock_guard<std::mutex> lock(*batch_searchers_mu_);
+  return batch_searchers_.size();
+}
+
 std::vector<ShortestPathGraph> QbsIndex::QueryBatch(
     const std::vector<std::pair<VertexId, VertexId>>& pairs,
     const BatchOptions& options) {
@@ -95,31 +142,17 @@ std::vector<ShortestPathGraph> QbsIndex::QueryBatch(
                                   std::max<size_t>(pairs.size(), 1));
   // One searcher per worker, checked out of the persistent pool (topped up
   // to `workers` if needed); all share the labelling, meta-graph, D cache,
-  // and the materialized sparsified graph (read-only). Checking out keeps
-  // concurrent QueryBatch calls from ever sharing a searcher.
-  std::vector<std::unique_ptr<GuidedSearcher>> searchers;
-  searchers.reserve(workers);
-  {
-    std::lock_guard<std::mutex> lock(*batch_searchers_mu_);
-    while (!batch_searchers_.empty() && searchers.size() < workers) {
-      searchers.push_back(std::move(batch_searchers_.back()));
-      batch_searchers_.pop_back();
-    }
-  }
-  while (searchers.size() < workers) {
-    searchers.push_back(std::make_unique<GuidedSearcher>(
-        *g_, *sparsified_, scheme_->labeling, scheme_->meta, delta_.get()));
-  }
+  // and the materialized sparsified graph (read-only). The RAII lease
+  // keeps concurrent QueryBatch calls from ever sharing a searcher AND
+  // returns every searcher when a query throws mid-batch, so the pool
+  // never shrinks across failed batches.
+  SearcherLease lease(*this, workers);
   ParallelForOptions pf;
   pf.num_threads = workers;
   pf.grain = options.grain;
   ParallelFor(pairs.size(), pf, [&](size_t i, size_t worker) {
-    results[i] = searchers[worker]->Query(pairs[i].first, pairs[i].second);
+    results[i] = lease[worker].Query(pairs[i].first, pairs[i].second);
   });
-  {
-    std::lock_guard<std::mutex> lock(*batch_searchers_mu_);
-    for (auto& s : searchers) batch_searchers_.push_back(std::move(s));
-  }
   return results;
 }
 

@@ -51,9 +51,19 @@ struct QbsOptions {
   // Build Akiba-style bit-parallel masks (the 64 nearest non-landmark
   // neighbours of each landmark) alongside the labels. Queries then answer
   // d(s, t) <= 2 pairs straight from the labelling — no sketch, search, or
-  // recover work — and DistanceUpperBound() tightens. Costs two extra
-  // adjacency sweeps per landmark at build and 16 bytes per label slot.
+  // recover work — and DistanceUpperBound() tightens. Costs 16 bytes per
+  // label slot plus one extra adjacency sweep per landmark at build.
   bool bit_parallel = true;
+  // Fuse the S^{-1} mask propagation into the labelling BFS instead of
+  // replaying two post-BFS sweeps per landmark (LabelingBuildOptions::
+  // bp_fused). Identical masks either way; off only for the fused-vs-
+  // replay ablation and equivalence tests.
+  bool bp_fused = true;
+  // Mask-guided search pruning (GuidedSearcher::set_mask_prune): the
+  // refined label upper bound caps the search budget and mask-lifted
+  // per-vertex lower bounds skip frontier vertices that cannot lie on a
+  // relevant path. Identical answers either way; off for ablation.
+  bool mask_prune = true;
 };
 
 struct QbsBuildTimings {
@@ -118,6 +128,31 @@ class QbsIndex {
       const std::vector<std::pair<VertexId, VertexId>>& pairs,
       size_t num_threads = 0);
 
+  // RAII checkout of `count` searchers from the QueryBatch pool, topping
+  // the pool up with freshly constructed ones as needed. The destructor
+  // returns every searcher, so a query that throws mid-batch (e.g. an
+  // allocation failure surfacing through ParallelFor's inline worker)
+  // unwinds without shrinking the pool. QueryBatch checks its workers'
+  // searchers out through this guard; exposed for its regression tests.
+  class SearcherLease {
+   public:
+    SearcherLease(QbsIndex& index, size_t count);
+    ~SearcherLease();
+    SearcherLease(const SearcherLease&) = delete;
+    SearcherLease& operator=(const SearcherLease&) = delete;
+
+    GuidedSearcher& operator[](size_t i) { return *searchers_[i]; }
+    size_t size() const { return searchers_.size(); }
+
+   private:
+    QbsIndex& index_;
+    std::vector<std::unique_ptr<GuidedSearcher>> searchers_;
+  };
+
+  // Searchers currently idle in the QueryBatch pool (observability for the
+  // lease regression tests and capacity debugging).
+  size_t BatchSearcherPoolSize() const;
+
   // An upper bound on d_G(u, v): the sketch bound d⊤ (Eq. 3) — tight
   // whenever a shortest path crosses a landmark — further tightened by the
   // bit-parallel label bound when masks are present (tight whenever a
@@ -167,6 +202,9 @@ class QbsIndex {
       std::make_unique<std::mutex>();
   std::vector<std::unique_ptr<GuidedSearcher>> batch_searchers_;
   QbsBuildTimings timings_;
+  // Mask-guided pruning setting applied to every searcher this index
+  // constructs (QbsOptions::mask_prune).
+  bool mask_prune_ = true;
 };
 
 }  // namespace qbs

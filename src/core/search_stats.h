@@ -44,6 +44,11 @@ struct SearchStats {
   // Queries resolved by the bit-parallel label fast path: distance and the
   // full SPG produced with zero search/reverse/recover edge scans.
   uint64_t label_short_circuits = 0;
+  // Frontier vertices the mask-lifted label lower bound pruned from the
+  // sketch-guided search: their depth plus a certified lower bound to the
+  // far endpoint already exceeded the search budget, so their adjacency
+  // was never scanned.
+  uint64_t lb_prunes = 0;
 
   uint32_t d_top = kUnreachable;         // sketch upper bound d⊤
   uint32_t d_sparsified = kUnreachable;  // d_G⁻(u, v) when determined
@@ -66,6 +71,7 @@ struct SearchStats {
     delta_cache_hits += o.delta_cache_hits;
     edges_scanned_direct += o.edges_scanned_direct;
     label_short_circuits += o.label_short_circuits;
+    lb_prunes += o.lb_prunes;
   }
 };
 

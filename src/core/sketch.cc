@@ -131,7 +131,8 @@ LabelBound ComputeLabelBoundFromCandidates(
     const DistT dv = cv[iv].delta;
     ++iu;
     ++iv;
-    bound.lower = std::max<uint32_t>(bound.lower, du > dv ? du - dv : dv - du);
+    const uint32_t base = du > dv ? du - dv : dv - du;
+    bound.lower = std::max<uint32_t>(bound.lower, base);
     uint32_t cand = static_cast<uint32_t>(du) + dv;
     if (bp && cand <= max_refinable) {
       const BpMask mu = labeling.GetBpMask(u, i);
@@ -141,6 +142,9 @@ LabelBound ComputeLabelBoundFromCandidates(
       } else if ((mu.s_minus & mv.s_zero) != 0 ||
                  (mu.s_zero & mv.s_minus) != 0) {
         cand -= 1;
+      }
+      if (base >= bound.lower && BpMaskLowerLift(mu, mv, du, dv)) {
+        bound.lower = base + 1;
       }
     }
     bound.upper = std::min(bound.upper, cand);

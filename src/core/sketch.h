@@ -102,11 +102,30 @@ void ComputeSketchMetaEdges(const MetaGraph& meta, Sketch* sketch,
 std::vector<SketchAnchor> AnchorCandidates(const PathLabeling& labeling,
                                            VertexId t);
 
+// True iff the bit-parallel masks of a shared landmark witness a per-
+// neighbour lower bound one above |du - dv|: a bit j set on both sides pins
+// d(u_j, u) and d(u_j, v) exactly (S^{-1} = delta - 1, S^0 = delta), and
+// the pinned distances disagree hardest when the smaller-delta side holds
+// the S^{-1} bit and the larger-delta side the S^0 bit (or the deltas tie
+// and any S^{-1}/S^0 cross bit exists). Bits unset on either side pin
+// nothing, so all-zero masks (e.g. a v1 load that never built them) can
+// never lift the bound — the refinement degrades to "no witnesses".
+inline bool BpMaskLowerLift(const BpMask& mu, const BpMask& mv, DistT du,
+                            DistT dv) {
+  if (du == dv) {
+    return ((mu.s_minus & mv.s_zero) | (mu.s_zero & mv.s_minus)) != 0;
+  }
+  if (du > dv) return (mu.s_zero & mv.s_minus) != 0;
+  return (mu.s_minus & mv.s_zero) != 0;
+}
+
 // Distance bounds on d_G(u, v) read from the labelling alone — one fused
 // scan of the two label rows, O(|R|), no graph access.
 struct LabelBound {
   // max |δ_{u,r} - δ_{v,r}| over landmarks present in both labels (triangle
-  // inequality); 0 when the labels share no landmark.
+  // inequality), lifted by one per landmark when a bit-parallel mask
+  // witness (BpMaskLowerLift) pins a selected neighbour's exact distances
+  // harder than the deltas alone; 0 when the labels share no landmark.
   uint32_t lower = 0;
   // min over shared landmarks of δ_{u,r} + δ_{v,r}, refined by the
   // bit-parallel masks when present: a common S_r^{-1} witness subtracts 2
@@ -127,7 +146,9 @@ struct LabelBound {
 // consulted when the unrefined candidate could drop to <= refine_cutoff
 // (refinement subtracts at most 2). The query hot path passes 2 — it only
 // acts on a certified d <= 2 — which skips the mask cache lines for every
-// farther landmark; the default refines everything (tightest bound).
+// farther landmark; the default refines everything (tightest bound). The
+// lower-bound lift rides the same gate: only landmarks whose masks are
+// read for the upper refinement can lift `lower`.
 LabelBound ComputeLabelBound(const PathLabeling& labeling,
                              const MetaGraph& meta, VertexId u, VertexId v,
                              uint32_t refine_cutoff = kUnreachable);

@@ -18,29 +18,20 @@ void FrontierEngine::Distances(const Graph& g, VertexId source,
   cur_.push_back(source);
   (*dist)[source] = 0;
 
-  // Directed edge endpoints not yet claimed by the traversal; the alpha
-  // heuristic compares the frontier's outgoing volume against it.
-  uint64_t edges_remaining = 2 * g.NumEdges();
-  uint64_t scout_count = g.Degree(source);
-  bool bottom_up = false;
+  DirOptController dir(policy_, n, g.NumEdges());
+  dir.Scout(g.Degree(source));
 
   uint32_t depth = 0;
   while (!cur_.empty() && depth < max_depth) {
     const uint32_t next_depth = depth + 1;
     next_.clear();
 
-    if (mode == TraversalMode::kAuto) {
-      if (!bottom_up && scout_count > edges_remaining / policy_.alpha) {
-        bottom_up = true;
-      } else if (bottom_up && cur_.size() < n / policy_.beta) {
-        bottom_up = false;
-      }
-    } else {
+    // A forced mode still runs Step() for its edges-remaining bookkeeping;
+    // only the returned direction is overridden.
+    bool bottom_up = dir.Step(cur_.size());
+    if (mode != TraversalMode::kAuto) {
       bottom_up = mode == TraversalMode::kBottomUp;
     }
-
-    edges_remaining -= scout_count;
-    scout_count = 0;
 
     if (bottom_up) {
       // Pull: every unvisited vertex looks for a parent on the frontier and
@@ -54,7 +45,7 @@ void FrontierEngine::Distances(const Graph& g, VertexId source,
           if (front_bits_.Test(w)) {
             (*dist)[v] = next_depth;
             next_.push_back(v);
-            scout_count += g.Degree(v);
+            dir.Scout(g.Degree(v));
             break;
           }
         }
@@ -68,7 +59,7 @@ void FrontierEngine::Distances(const Graph& g, VertexId source,
           if ((*dist)[w] == kUnreachable) {
             (*dist)[w] = next_depth;
             next_.push_back(w);
-            scout_count += g.Degree(w);
+            dir.Scout(g.Degree(w));
           }
         }
       }

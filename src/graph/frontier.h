@@ -123,6 +123,47 @@ struct DirOptPolicy {
   uint32_t beta = 18;
 };
 
+// The Beamer alpha/beta hysteresis itself, factored out of the traversals
+// that share it (FrontierEngine and the per-landmark labelling BFS): the
+// caller scouts the out-degree of every vertex it settles, and Step()
+// consumes the scouted volume to pick the next level's direction.
+class DirOptController {
+ public:
+  // `num_undirected_edges` = |E|; the unexplored-volume budget is the 2|E|
+  // directed endpoints. Seed the root's degree via Scout() before the first
+  // Step().
+  DirOptController(const DirOptPolicy& policy, size_t num_vertices,
+                   uint64_t num_undirected_edges)
+      : policy_(policy),
+        num_vertices_(num_vertices),
+        edges_remaining_(2 * num_undirected_edges) {}
+
+  // Accounts the out-degree of a newly settled vertex: the volume the
+  // frontier would scan if the next level ran top-down.
+  void Scout(uint64_t degree) { scout_count_ += degree; }
+
+  // Picks the direction for the next level given the current frontier
+  // size, consuming the scouted volume. Call exactly once per level.
+  bool Step(size_t frontier_size) {
+    if (!bottom_up_ &&
+        scout_count_ > edges_remaining_ / policy_.alpha) {
+      bottom_up_ = true;
+    } else if (bottom_up_ && frontier_size < num_vertices_ / policy_.beta) {
+      bottom_up_ = false;
+    }
+    edges_remaining_ -= scout_count_;
+    scout_count_ = 0;
+    return bottom_up_;
+  }
+
+ private:
+  DirOptPolicy policy_;
+  size_t num_vertices_;
+  uint64_t edges_remaining_;
+  uint64_t scout_count_ = 0;
+  bool bottom_up_ = false;
+};
+
 enum class TraversalMode {
   kAuto,      // direction-optimizing (the default everywhere)
   kTopDown,   // classic level-synchronous push

@@ -16,6 +16,7 @@
 #include "core/labeling.h"
 #include "core/landmark_selection.h"
 #include "core/qbs_index.h"
+#include "core/serialization.h"
 #include "core/sketch.h"
 #include "gen/generators.h"
 #include "graph/bfs.h"
@@ -104,6 +105,39 @@ INSTANTIATE_TEST_SUITE_P(Sweep, BitParallelDefinition,
                                            BpParam{3, 5, 5},
                                            BpParam{0, 6, 1}));
 
+// Fused-sweep equivalence: masks built by the fused top-down/bottom-up
+// propagation (bp_fused = true, the default) are bit-identical to the
+// two-sweep replay reference on every graph family, sequentially and in
+// parallel. The fused path must be a pure optimization.
+TEST_P(BitParallelDefinition, FusedSweepMatchesTwoSweepReplay) {
+  const auto& p = GetParam();
+  Graph g = FamilyGraph(p.family, p.seed);
+  const auto landmarks =
+      SelectLandmarks(g, p.k, LandmarkStrategy::kHighestDegree, p.seed);
+  LabelingBuildOptions replay_options;
+  replay_options.bp_fused = false;
+  const auto replay = BuildLabelingScheme(g, landmarks, replay_options);
+  for (const size_t threads : {size_t{1}, size_t{0}}) {
+    LabelingBuildOptions fused_options;
+    fused_options.num_threads = threads;
+    const auto fused = BuildLabelingScheme(g, landmarks, fused_options);
+    ASSERT_TRUE(fused.labeling.has_bp_masks());
+    for (LandmarkIndex i = 0; i < fused.labeling.num_landmarks(); ++i) {
+      ASSERT_EQ(fused.labeling.BpSelected(i), replay.labeling.BpSelected(i));
+    }
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      for (LandmarkIndex i = 0; i < fused.labeling.num_landmarks(); ++i) {
+        ASSERT_EQ(fused.labeling.GetBpMask(v, i),
+                  replay.labeling.GetBpMask(v, i))
+            << "threads=" << threads << " v=" << v << " landmark=" << i;
+      }
+      for (LandmarkIndex i = 0; i < fused.labeling.num_landmarks(); ++i) {
+        ASSERT_EQ(fused.labeling.Get(v, i), replay.labeling.Get(v, i));
+      }
+    }
+  }
+}
+
 // Parallel construction produces the identical masks (Lemma 5.2 analogue:
 // the masks are a pure function of (G, R)).
 TEST(BitParallelTest, ParallelMatchesSequential) {
@@ -150,6 +184,45 @@ TEST_P(BitParallelQuery, LabelBoundsNeverDisagreeWithBfs) {
       EXPECT_GE(bound.upper, d) << "u=" << u << " v=" << v;
     }
   }
+}
+
+// Property test for the mask-lifted lower bound: for every pair reachable
+// from a spread of sources, ComputeLabelBound().lower never exceeds the
+// true BFS distance (a lifted witness must pin real per-neighbour
+// distances, never invent slack).
+TEST_P(BitParallelQuery, LowerBoundNeverExceedsBfsDistances) {
+  const auto& p = GetParam();
+  Graph g = FamilyGraph(p.family, p.seed);
+  QbsOptions options;
+  options.num_landmarks = p.k;
+  QbsIndex index = QbsIndex::Build(g, options);
+  const PathLabeling& l = index.labeling();
+
+  std::vector<VertexId> sources = index.landmarks();
+  for (VertexId s = 0; s < g.NumVertices();
+       s += g.NumVertices() / 8 + 1) {
+    sources.push_back(s);
+  }
+  size_t lifted = 0;
+  for (const VertexId s : sources) {
+    const auto dist = BfsDistances(g, s);
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      if (s == t) continue;
+      const LabelBound bound = ComputeLabelBound(l, index.meta_graph(), s, t);
+      if (dist[t] != kUnreachable) {
+        ASSERT_LE(bound.lower, dist[t]) << "s=" << s << " t=" << t;
+        if (bound.upper != kUnreachable) {
+          ASSERT_GE(bound.upper, dist[t]) << "s=" << s << " t=" << t;
+        }
+      } else {
+        // Disconnected pairs share no landmark: nothing to bound.
+        ASSERT_EQ(bound.lower, 0u);
+        ASSERT_EQ(bound.upper, kUnreachable);
+      }
+      if (bound.lower > 0 && bound.lower == dist[t]) ++lifted;
+    }
+  }
+  EXPECT_GT(lifted, 0u);  // the bound is tight somewhere
 }
 
 // d <= 2 queries never scan a reverse or recover edge: label-certified
@@ -292,6 +365,113 @@ TEST(BitParallelTest, LandmarkEndpointsShortCircuit) {
     }
   }
   EXPECT_GT(certified, 0u);
+}
+
+// Mask-guided pruning: identical answers with strictly fewer search edge
+// scans on the queries where all shortest paths cross landmarks (the
+// widest, least fruitful frontiers — exactly where a certified
+// depth + lower bound > budget cuts whole subtrees). A small-world ring
+// keeps distances long-range, which is the regime the pruning targets
+// (short-budget searches skip the per-vertex check entirely).
+TEST(BitParallelTest, MaskPruneReducesAllThroughLandmarkScans) {
+  // A wide small-world ring: distances stay long-range (budgets clear
+  // kMaskPruneMinBudget) and degrees clear the per-vertex check gate.
+  Graph g = WattsStrogatz(1200, 20, 0.01, 77);
+  QbsOptions pruned_options;
+  pruned_options.num_landmarks = 16;
+  QbsOptions unpruned_options = pruned_options;
+  unpruned_options.mask_prune = false;
+  QbsIndex pruned = QbsIndex::Build(g, pruned_options);
+  QbsIndex unpruned = QbsIndex::Build(g, unpruned_options);
+
+  uint64_t pruned_scans = 0;
+  uint64_t unpruned_scans = 0;
+  uint64_t prunes = 0;
+  size_t all_through = 0;
+  for (const auto& [u, v] : SampleQueryPairs(g, 400, 77)) {
+    SearchStats sp;
+    SearchStats su;
+    const auto a = pruned.Query(u, v, &sp);
+    const auto b = unpruned.Query(u, v, &su);
+    ASSERT_EQ(a, b) << "u=" << u << " v=" << v;
+    EXPECT_EQ(su.lb_prunes, 0u);
+    prunes += sp.lb_prunes;
+    if (su.coverage == PairCoverage::kAllThroughLandmarks &&
+        su.label_short_circuits == 0) {
+      ++all_through;
+      pruned_scans += sp.edges_scanned_search;
+      unpruned_scans += su.edges_scanned_search;
+    }
+  }
+  ASSERT_GT(all_through, 0u);
+  EXPECT_GT(prunes, 0u);
+  EXPECT_LE(pruned_scans, unpruned_scans);
+  EXPECT_LT(pruned_scans, unpruned_scans)
+      << "pruning never fired on " << all_through
+      << " kAllThroughLandmarks searches";
+  std::printf("all-through searches: %zu, prunes: %llu, "
+              "edges_scanned_search %llu -> %llu (%.2fx)\n",
+              all_through, static_cast<unsigned long long>(prunes),
+              static_cast<unsigned long long>(unpruned_scans),
+              static_cast<unsigned long long>(pruned_scans),
+              unpruned_scans > 0 ? static_cast<double>(unpruned_scans) /
+                                       static_cast<double>(std::max<uint64_t>(
+                                           pruned_scans, 1))
+                                 : 0.0);
+}
+
+// Loading a v1 (QBSIDX01) file with bit_parallel requested cannot invent
+// masks: the index runs mask-less (sound bounds, oracle-exact queries).
+// And force-enabling empty masks on such a scheme must degrade to "no
+// witnesses": bounds identical to the mask-less ones, never tighter.
+TEST(BitParallelTest, V1LoadThenQueryWithMasksRequested) {
+  const std::string fixture =
+      std::string(QBS_TEST_DATA_DIR) + "/figure4_v1.qbsidx";
+  Graph g = testing::Figure4Graph();
+  QbsOptions options;
+  options.bit_parallel = true;  // requested, but a v1 file has none
+  auto index = QbsIndex::LoadFromFile(g, fixture, options);
+  ASSERT_TRUE(index.has_value());
+  EXPECT_FALSE(index->labeling().has_bp_masks());
+  EXPECT_EQ(index->BpMaskSizeBytes(), 0u);
+
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    const auto dist = BfsDistances(g, u);
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      SearchStats stats;
+      ASSERT_EQ(index->Query(u, v, &stats), SpgByDoubleBfs(g, u, v))
+          << "u=" << u << " v=" << v;
+      EXPECT_EQ(stats.label_short_circuits, 0u);
+      if (u != v && dist[v] != kUnreachable) {
+        EXPECT_GE(index->DistanceUpperBound(u, v), dist[v]);
+        const LabelBound bound =
+            ComputeLabelBound(index->labeling(), index->meta_graph(), u, v);
+        EXPECT_LE(bound.lower, dist[v]);
+      }
+    }
+  }
+
+  // Adversarial variant: a scheme whose mask matrix exists but is all
+  // zeros (what a loader bug would produce). Upper refinement and lower
+  // lift both require set bits on both sides, so every bound must equal
+  // the mask-less one.
+  auto scheme = LoadLabelingScheme(fixture);
+  ASSERT_TRUE(scheme.has_value());
+  auto empty_masks = LoadLabelingScheme(fixture);
+  ASSERT_TRUE(empty_masks.has_value());
+  empty_masks->labeling.EnableBpMasks();
+  ASSERT_TRUE(empty_masks->labeling.has_bp_masks());
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if (u == v) continue;
+      const LabelBound plain =
+          ComputeLabelBound(scheme->labeling, scheme->meta, u, v);
+      const LabelBound with_empty =
+          ComputeLabelBound(empty_masks->labeling, empty_masks->meta, u, v);
+      EXPECT_EQ(with_empty.lower, plain.lower) << "u=" << u << " v=" << v;
+      EXPECT_EQ(with_empty.upper, plain.upper) << "u=" << u << " v=" << v;
+    }
+  }
 }
 
 // Save/Load round-trips the masks and the selected sets; a loaded index

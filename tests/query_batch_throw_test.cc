@@ -1,0 +1,88 @@
+// QueryBatch searcher-pool exception safety: the RAII SearcherLease must
+// return every checked-out GuidedSearcher to the pool even when a query
+// throws mid-batch (e.g. an allocation failure surfacing through
+// ParallelFor's inline worker). Before the guard, the unwound checkout
+// silently shrank the pool, so every later batch paid full searcher
+// reconstruction.
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/qbs_index.h"
+#include "gen/generators.h"
+#include "workload/query_workload.h"
+
+namespace qbs {
+namespace {
+
+QbsIndex BuildSmallIndex(Graph& g) {
+  QbsOptions options;
+  options.num_landmarks = 8;
+  return QbsIndex::Build(g, options);
+}
+
+// A query that throws between checkout and checkin must not shrink the
+// pool: the lease destructor runs during unwinding and checks everything
+// back in.
+TEST(QueryBatchThrowTest, ThrowingQueryReturnsSearchersToPool) {
+  Graph g = BarabasiAlbert(300, 3, 9);
+  QbsIndex index = BuildSmallIndex(g);
+
+  // Populate the pool.
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (const auto& [u, v] : SampleQueryPairs(g, 32, 9)) {
+    pairs.emplace_back(u, v);
+  }
+  index.QueryBatch(pairs, /*num_threads=*/4);
+  const size_t pool_before = index.BatchSearcherPoolSize();
+  ASSERT_GT(pool_before, 0u);
+
+  bool thrown = false;
+  try {
+    QbsIndex::SearcherLease lease(index, 3);
+    ASSERT_EQ(lease.size(), 3u);
+    // Checked out: the pool shrank by what it could supply.
+    EXPECT_LT(index.BatchSearcherPoolSize(), pool_before);
+    // Run a real query on a leased searcher, then fail "mid-batch".
+    lease[0].Query(pairs[0].first, pairs[0].second);
+    throw std::runtime_error("query failed mid-batch");
+  } catch (const std::runtime_error&) {
+    thrown = true;
+  }
+  ASSERT_TRUE(thrown);
+  // Everything the lease held is back (including the freshly built
+  // searchers the pool could not supply).
+  EXPECT_GE(index.BatchSearcherPoolSize(), pool_before);
+}
+
+// Steady state: repeated batches neither shrink nor unboundedly grow the
+// pool, and results stay correct.
+TEST(QueryBatchThrowTest, PoolStableAcrossBatches) {
+  Graph g = BarabasiAlbert(400, 3, 10);
+  QbsIndex index = BuildSmallIndex(g);
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (const auto& [u, v] : SampleQueryPairs(g, 64, 10)) {
+    pairs.emplace_back(u, v);
+  }
+  const auto first = index.QueryBatch(pairs, /*num_threads=*/4);
+  const size_t pool_after_first = index.BatchSearcherPoolSize();
+  ASSERT_GT(pool_after_first, 0u);
+  for (int round = 0; round < 3; ++round) {
+    const auto batch = index.QueryBatch(pairs, /*num_threads=*/4);
+    ASSERT_EQ(batch.size(), pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      ASSERT_EQ(batch[i], first[i]) << "round " << round << " pair " << i;
+    }
+    EXPECT_EQ(index.BatchSearcherPoolSize(), pool_after_first)
+        << "round " << round;
+  }
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    ASSERT_EQ(index.Query(pairs[i].first, pairs[i].second), first[i]);
+  }
+}
+
+}  // namespace
+}  // namespace qbs
