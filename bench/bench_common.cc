@@ -5,6 +5,9 @@
 #include <cstdlib>
 #include <sstream>
 #include <thread>
+#include <utility>
+
+#include "workload/datasets.h"
 
 namespace qbs::bench {
 namespace {
@@ -12,6 +15,7 @@ namespace {
 // Flag overrides (from InitBenchArgs); empty string = not set.
 struct FlagOverrides {
   std::string scale, pairs, budget, threads, datasets, batch_size, grain;
+  std::string dataset, data_dir;
 };
 FlagOverrides g_flags;
 
@@ -34,7 +38,9 @@ void InitBenchArgs(int argc, char** argv) {
                {"--threads=", &g_flags.threads},
                {"--datasets=", &g_flags.datasets},
                {"--batch_size=", &g_flags.batch_size},
-               {"--grain=", &g_flags.grain}};
+               {"--grain=", &g_flags.grain},
+               {"--dataset=", &g_flags.dataset},
+               {"--data_dir=", &g_flags.data_dir}};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     bool matched = false;
@@ -50,7 +56,8 @@ void InitBenchArgs(int argc, char** argv) {
       std::fprintf(stderr,
                    "unknown flag: %s\nusage: %s [--scale=F] [--pairs=N] "
                    "[--budget=S] [--threads=N] [--datasets=DO,DB,...] "
-                   "[--batch_size=N] [--grain=N]\n",
+                   "[--batch_size=N] [--grain=N] "
+                   "[--dataset=dblp,epinions,...] [--data_dir=PATH]\n",
                    arg.c_str(), argv[0]);
       std::exit(2);
     }
@@ -107,6 +114,71 @@ LoadedDataset LoadDataset(const DatasetSpec& spec) {
   LoadedDataset d;
   d.spec = spec;
   d.graph = MakeDataset(spec, EnvScale());
+  d.pairs = SampleQueryPairs(d.graph, EnvPairs(), /*seed=*/20210402);
+  return d;
+}
+
+std::string EnvDataDir() {
+  if (!g_flags.data_dir.empty()) return g_flags.data_dir;
+  return DefaultDataDir();  // honors QBS_DATA_DIR
+}
+
+std::vector<BenchDatasetRef> SelectedBenchDatasets() {
+  std::string real = g_flags.dataset;
+  if (real.empty()) {
+    const char* env = std::getenv("QBS_BENCH_DATASET");
+    if (env != nullptr) real = env;
+  }
+  std::vector<BenchDatasetRef> refs;
+  if (real.empty()) {
+    for (const DatasetSpec& spec : SelectedDatasets()) {
+      BenchDatasetRef ref;
+      ref.id = spec.abbrev;
+      ref.spec = spec;
+      refs.push_back(std::move(ref));
+    }
+    return refs;
+  }
+  std::stringstream ss(real);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    if (FindRealDataset(item) == nullptr) {
+      std::fprintf(stderr,
+                   "--dataset: unknown dataset '%s'. Available: %s\n",
+                   item.c_str(), AvailableDatasetNames().c_str());
+      std::exit(2);
+    }
+    BenchDatasetRef ref;
+    ref.id = item;
+    ref.real = true;
+    refs.push_back(std::move(ref));
+  }
+  return refs;
+}
+
+LoadedDataset LoadDataset(const BenchDatasetRef& ref) {
+  if (!ref.real) return LoadDataset(ref.spec);
+  auto resolved = ResolveDataset(ref.id, EnvDataDir(), EnvScale());
+  if (!resolved.has_value()) {
+    // ResolveDataset already printed the reason + the available list.
+    std::exit(2);
+  }
+  LoadedDataset d;
+  d.source = resolved->source == "stand-in" ? "stand-in*" : resolved->source;
+  d.spec.name = resolved->name;
+  d.spec.abbrev =
+      resolved->abbrev.empty() ? resolved->name : resolved->abbrev;
+  d.spec.paper_vertices_m = resolved->paper_vertices_m;
+  d.spec.paper_edges_m = resolved->paper_edges_m;
+  if (!resolved->abbrev.empty()) {
+    // The avg-degree / avg-distance reference columns live on the
+    // stand-in spec.
+    const DatasetSpec& standin = DatasetByAbbrev(resolved->abbrev);
+    d.spec.paper_avg_deg = standin.paper_avg_deg;
+    d.spec.paper_avg_dist = standin.paper_avg_dist;
+  }
+  d.graph = std::move(resolved->graph);
   d.pairs = SampleQueryPairs(d.graph, EnvPairs(), /*seed=*/20210402);
   return d;
 }

@@ -11,10 +11,15 @@
 //                        e.g. "DO,DB,YT")
 //   QBS_BENCH_BATCH_SIZE queries per QueryBatch call (default 256)
 //   QBS_BENCH_GRAIN      ParallelFor grain for QueryBatch (default 0 = auto)
+//   QBS_BENCH_DATASET    comma-separated *real* dataset names (or Table 1
+//                        abbreviations) to run against downloaded data,
+//                        e.g. "dblp,epinions" (see workload/datasets.h);
+//                        missing data falls back to the stand-in
+//   QBS_DATA_DIR         data directory for real datasets (default "data")
 //
 // Command-line flags override the environment: pass argc/argv to
 // InitBenchArgs and use --scale=, --pairs=, --budget=, --threads=,
-// --datasets=, --batch_size=, --grain=.
+// --datasets=, --batch_size=, --grain=, --dataset=, --data_dir=.
 
 #ifndef QBS_BENCH_BENCH_COMMON_H_
 #define QBS_BENCH_BENCH_COMMON_H_
@@ -42,6 +47,10 @@ size_t EnvThreads();
 size_t EnvBatchSize();
 size_t EnvGrain();
 
+// Data directory for real datasets: --data_dir flag, else QBS_DATA_DIR,
+// else "data".
+std::string EnvDataDir();
+
 // Registry datasets selected by QBS_BENCH_DATASETS (default: all 12).
 std::vector<DatasetSpec> SelectedDatasets();
 
@@ -49,10 +58,34 @@ struct LoadedDataset {
   DatasetSpec spec;
   Graph graph;
   std::vector<QueryPair> pairs;
+  // Where the graph came from: "stand-in" (synthetic generator), "cache"
+  // (QBSGRF01 binary cache hit), "raw" (edge list parsed + cache written),
+  // or "stand-in*" (real dataset requested but data missing).
+  std::string source = "stand-in";
 };
 
 // Generates the dataset at the env scale and samples the env pair count.
 LoadedDataset LoadDataset(const DatasetSpec& spec);
+
+// One entry of the benchmark's dataset sweep: either a synthetic Table 1
+// stand-in (the --datasets/QBS_BENCH_DATASETS path) or a real downloaded
+// dataset (the --dataset/QBS_BENCH_DATASET path).
+struct BenchDatasetRef {
+  std::string id;    // stand-in abbreviation, or real-registry name
+  bool real = false;
+  DatasetSpec spec;  // the stand-in spec; only valid when !real
+};
+
+// The dataset sweep for the headline benches (table 1/2): every --dataset
+// name (real data, loaded through the binary cache, stand-in fallback when
+// data is absent) when given, else the --datasets stand-in selection.
+// Unknown --dataset names abort with the available list.
+std::vector<BenchDatasetRef> SelectedBenchDatasets();
+
+// Loads one sweep entry: real refs resolve through workload/datasets.h
+// (cache -> raw -> stand-in fallback; a non-paper dataset with no local
+// data aborts), synthetic refs generate the stand-in at the env scale.
+LoadedDataset LoadDataset(const BenchDatasetRef& ref);
 
 // Fixed-width aligned table output. Also echoes each row as CSV to make
 // figure series machine-readable (prefix "csv,"); the column names are

@@ -4,9 +4,10 @@
 // PPL / ParentPPL run under a construction budget (QBS_BENCH_BUDGET,
 // default 10 s — the paper's cutoff is 24 h); exceeding it prints DNF, and
 // exceeding the entry cap prints OOE, reproducing the paper's failure
-// annotations. The expected *shape*: QbS-P fastest to build, QbS query
-// times orders of magnitude below Bi-BFS, PPL/ParentPPL failing beyond the
-// small datasets.
+// annotations. --dataset=dblp,... swaps the synthetic stand-ins for real
+// downloaded graphs (see bench_table1_datasets.cc). The expected *shape*:
+// QbS-P fastest to build, QbS query times orders of magnitude below
+// Bi-BFS, PPL/ParentPPL failing beyond the small datasets.
 
 #include <algorithm>
 #include <cstdio>
@@ -42,8 +43,8 @@ void Run() {
        "qPPL(ms)", "qPPPL(ms)", "qBiBFS(ms)"},
       {12, 9, 9, 9, 9, 10, 10, 10, 10, 8, 10, 10, 10, 10});
 
-  for (const auto& spec : SelectedDatasets()) {
-    const LoadedDataset d = LoadDataset(spec);
+  for (const auto& ref : SelectedBenchDatasets()) {
+    const LoadedDataset d = LoadDataset(ref);
     const Graph& g = d.graph;
 
     // QbS-P (parallel labelling construction).
@@ -161,7 +162,7 @@ void Run() {
     for (const auto& [u, v] : d.pairs) bibfs.Query(u, v);
     const double q_bibfs = qtimer.ElapsedMillis() / d.pairs.size();
 
-    table.Row({spec.abbrev, FormatSeconds(qbsp_seconds),
+    table.Row({d.spec.abbrev, FormatSeconds(qbsp_seconds),
                FormatSeconds(qbs_seconds),
                ppl.has_value() ? FormatSeconds(ppl_seconds)
                                : StatusString(ppl_status),

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker for the repo's documentation set.
+
+Validates every markdown link in the given files (default: README.md and
+docs/*.md):
+
+  * relative links must point at an existing file or directory, resolved
+    from the linking file's directory;
+  * intra-document and cross-document anchors (#section) must match a
+    heading in the target file (GitHub slug rules: lowercase, spaces to
+    dashes, punctuation stripped);
+  * absolute URLs are checked for scheme sanity only (http/https) — no
+    network access, so CI stays hermetic and the check never flakes on a
+    slow mirror.
+
+Exit status: 0 when every link resolves, 1 otherwise (each failure is
+printed as file:line: message). Run as a ctest (`md_links`) and in the CI
+docs job; add new documentation files to the default set in ci.yml or pass
+them as arguments.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)\)")
+IMAGE_RE = re.compile(r"\!\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(?P<title>.+?)\s*$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+
+
+def github_slug(title):
+    """GitHub's heading -> anchor slug transform (close enough for ours)."""
+    slug = re.sub(r"[`*_]", "", title.strip().lower())
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path, cache={}):
+    if path not in cache:
+        text = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+        slugs = {}
+        out = set()
+        for m in HEADING_RE.finditer(text):
+            slug = github_slug(m.group("title"))
+            n = slugs.get(slug, 0)
+            slugs[slug] = n + 1
+            out.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = out
+    return cache[path]
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def rel(path, root):
+    try:
+        return path.relative_to(root)
+    except ValueError:
+        return path
+
+
+def check_file(path, repo_root):
+    text = path.read_text(encoding="utf-8")
+    # Strip fenced code blocks: example links in ``` blocks aren't links.
+    stripped = CODE_FENCE_RE.sub(lambda m: "\n" * m.group(0).count("\n"),
+                                 text)
+    failures = []
+    for m in list(LINK_RE.finditer(stripped)) + list(
+            IMAGE_RE.finditer(stripped)):
+        target = m.group("target")
+        line = line_of(stripped, m.start())
+        where = f"{rel(path, repo_root)}:{line}"
+        if target.startswith(("http://", "https://")):
+            continue  # external: scheme ok, no network check
+        if target.startswith(("mailto:", "ftp:")):
+            continue
+        if "://" in target:
+            failures.append(f"{where}: unsupported scheme in '{target}'")
+            continue
+        base, _, anchor = target.partition("#")
+        dest = path if not base else (path.parent / base).resolve()
+        if not dest.exists():
+            failures.append(f"{where}: broken link '{target}' "
+                            f"(no such file {dest})")
+            continue
+        if anchor:
+            if dest.is_dir() or dest.suffix.lower() != ".md":
+                continue  # anchors into non-markdown: out of scope
+            if anchor not in anchors_of(dest):
+                failures.append(f"{where}: broken anchor '#{anchor}' "
+                                f"(no matching heading in "
+                                f"{rel(dest, repo_root)})")
+    return failures
+
+
+def main():
+    repo_root = Path(__file__).resolve().parent.parent
+    if len(sys.argv) > 1:
+        files = [Path(a).resolve() for a in sys.argv[1:]]
+    else:
+        files = [repo_root / "README.md"] + sorted(
+            (repo_root / "docs").glob("*.md"))
+    failures = []
+    for f in files:
+        if not f.exists():
+            failures.append(f"{f}: file not found")
+            continue
+        failures.extend(check_file(f, repo_root))
+    for failure in failures:
+        print(failure)
+    checked = ", ".join(str(rel(f, repo_root)) for f in files if f.exists())
+    if failures:
+        print(f"\n{len(failures)} broken link(s) across: {checked}")
+        return 1
+    print(f"all markdown links ok: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,8 +36,8 @@
 
 namespace qbs {
 
-// Per-(vertex, landmark) bit-parallel masks over the landmark's selected
-// neighbour set S_r (bit j = j-th entry of BpSelected(r)).
+/// Per-(vertex, landmark) bit-parallel masks over the landmark's selected
+/// neighbour set S_r (bit j = j-th entry of BpSelected(r)).
 struct BpMask {
   uint64_t s_minus = 0;  // selected neighbours at distance d_G(r, v) - 1
   uint64_t s_zero = 0;   // selected neighbours at distance d_G(r, v)
@@ -49,23 +49,30 @@ struct BpMask {
 
 class PathLabeling {
  public:
+  /// Empty labelling (no vertices, no landmarks).
   PathLabeling() = default;
+  /// Allocates the |V| x |R| matrix, all entries absent (kInfDist).
   PathLabeling(VertexId num_vertices, std::vector<VertexId> landmarks);
 
+  /// |R|, the landmark count the matrix was built with.
   uint32_t num_landmarks() const {
     return static_cast<uint32_t>(landmarks_.size());
   }
+  /// |V| of the graph the labelling describes.
   VertexId num_vertices() const { return num_vertices_; }
 
+  /// The landmark vertex ids, in index order.
   const std::vector<VertexId>& landmarks() const { return landmarks_; }
+  /// Vertex id of the i-th landmark.
   VertexId LandmarkVertex(LandmarkIndex i) const { return landmarks_[i]; }
 
-  // Landmark index of v, or -1 if v is not a landmark.
+  /// Landmark index of v, or -1 if v is not a landmark.
   int32_t LandmarkRank(VertexId v) const { return landmark_rank_[v]; }
+  /// True iff v ∈ R.
   bool IsLandmark(VertexId v) const { return landmark_rank_[v] >= 0; }
 
-  // δ_{v, r_i}, or kInfDist if r_i ∉ L(v). Landmarks carry no stored labels
-  // (Definition 4.2 assigns labels to V \ R only).
+  /// δ_{v, r_i}, or kInfDist if r_i ∉ L(v). Landmarks carry no stored labels
+  /// (Definition 4.2 assigns labels to V \ R only).
   DistT Get(VertexId v, LandmarkIndex i) const {
     return dist_[static_cast<size_t>(v) * num_landmarks() + i];
   }
@@ -74,26 +81,26 @@ class PathLabeling {
     dist_[static_cast<size_t>(v) * num_landmarks() + i] = d;
   }
 
-  // Number of finite labelling entries: size(L) = Σ_v |L(v)| (§2).
+  /// Number of finite labelling entries: size(L) = Σ_v |L(v)| (§2).
   uint64_t NumEntries() const;
 
-  // Bulk-fills the matrix from a landmark-major buffer (cols[i * |V| + v]).
-  // Construction writes labels column-wise — each landmark BFS streams its
-  // own |V|-sized column sequentially — and transposes once at the end,
-  // instead of scattering one cache line per labelled vertex across the
-  // whole vertex-major matrix on every BFS.
+  /// Bulk-fills the matrix from a landmark-major buffer (cols[i * |V| + v]).
+  /// Construction writes labels column-wise — each landmark BFS streams its
+  /// own |V|-sized column sequentially — and transposes once at the end,
+  /// instead of scattering one cache line per labelled vertex across the
+  /// whole vertex-major matrix on every BFS.
   void AssignFromColumns(const std::vector<DistT>& cols);
 
-  // Bytes of the dense label matrix, the quantity Table 3 reports as
-  // size(L) (the paper stores |R| fixed-width slots per vertex, as we do).
+  /// Bytes of the dense label matrix, the quantity Table 3 reports as
+  /// size(L) (the paper stores |R| fixed-width slots per vertex, as we do).
   uint64_t SizeBytes() const { return dist_.size() * sizeof(DistT); }
 
-  // --- Bit-parallel masks (optional; empty unless enabled at build). ---
+  /// --- Bit-parallel masks (optional; empty unless enabled at build). ---
 
   bool has_bp_masks() const { return !bp_.empty(); }
 
-  // Allocates the mask matrix and the per-landmark selected-neighbour slots.
-  // Idempotent shape-wise; called by construction and the loader.
+  /// Allocates the mask matrix and the per-landmark selected-neighbour slots.
+  /// Idempotent shape-wise; called by construction and the loader.
   void EnableBpMasks();
 
   BpMask GetBpMask(VertexId v, LandmarkIndex i) const {
@@ -103,19 +110,19 @@ class PathLabeling {
     bp_[static_cast<size_t>(v) * num_landmarks() + i] = m;
   }
 
-  // S_r of landmark i: the selected non-landmark neighbours, in the bit
-  // order the masks use. Empty when masks are disabled.
+  /// S_r of landmark i: the selected non-landmark neighbours, in the bit
+  /// order the masks use. Empty when masks are disabled.
   const std::vector<VertexId>& BpSelected(LandmarkIndex i) const {
     return bp_selected_[i];
   }
   void SetBpSelected(LandmarkIndex i, std::vector<VertexId> selected);
 
-  // Bulk-fills the mask matrix from a landmark-major buffer, mirroring
-  // AssignFromColumns.
+  /// Bulk-fills the mask matrix from a landmark-major buffer, mirroring
+  /// AssignFromColumns.
   void AssignBpFromColumns(const std::vector<BpMask>& cols);
 
-  // Bytes of the bit-parallel mask matrix (reported separately from
-  // size(L) to keep the Table 3 quantity paper-comparable).
+  /// Bytes of the bit-parallel mask matrix (reported separately from
+  /// size(L) to keep the Table 3 quantity paper-comparable).
   uint64_t BpSizeBytes() const { return bp_.size() * sizeof(BpMask); }
 
  private:
@@ -133,28 +140,28 @@ struct LabelingScheme {
 };
 
 struct LabelingBuildOptions {
-  // 1 = sequential (paper's QbS); 0 = hardware concurrency (QbS-P);
-  // otherwise the exact thread count.
+  /// 1 = sequential (paper's QbS); 0 = hardware concurrency (QbS-P);
+  /// otherwise the exact thread count.
   size_t num_threads = 1;
-  // Build the Akiba-style bit-parallel masks alongside the labels. Costs
-  // 16 bytes per label slot; buys label-only d <= 2 answers and tighter
-  // distance bounds at query time.
+  /// Build the Akiba-style bit-parallel masks alongside the labels. Costs
+  /// 16 bytes per label slot; buys label-only d <= 2 answers and tighter
+  /// distance bounds at query time.
   bool bit_parallel = true;
-  // Fuse the S^{-1} mask propagation into the labelling BFS itself:
-  // top-down levels OR parent masks along the edges the expansion scans
-  // anyway, and bottom-up levels collect them during the (full-adjacency)
-  // pull, so only the S^0 sweep replays the settle order afterwards —
-  // one post-BFS sweep per landmark instead of two. Off = the reference
-  // two-sweep replay (kept for the bit-identity equivalence tests and the
-  // fused-vs-replay ablation). Masks are identical either way.
+  /// Fuse the S^{-1} mask propagation into the labelling BFS itself:
+  /// top-down levels OR parent masks along the edges the expansion scans
+  /// anyway, and bottom-up levels collect them during the (full-adjacency)
+  /// pull, so only the S^0 sweep replays the settle order afterwards —
+  /// one post-BFS sweep per landmark instead of two. Off = the reference
+  /// two-sweep replay (kept for the bit-identity equivalence tests and the
+  /// fused-vs-replay ablation). Masks are identical either way.
   bool bp_fused = true;
 };
 
-// Runs Algorithm 2: one two-queue level-synchronous BFS per landmark.
-// Landmark vertex ids must be distinct and valid. The result is
-// deterministic w.r.t. (g, landmarks) regardless of thread count or
-// landmark order (Lemma 5.2); only the landmark *indexing* follows the
-// given order.
+/// Runs Algorithm 2: one two-queue level-synchronous BFS per landmark.
+/// Landmark vertex ids must be distinct and valid. The result is
+/// deterministic w.r.t. (g, landmarks) regardless of thread count or
+/// landmark order (Lemma 5.2); only the landmark *indexing* follows the
+/// given order.
 LabelingScheme BuildLabelingScheme(const Graph& g,
                                    const std::vector<VertexId>& landmarks,
                                    const LabelingBuildOptions& options = {});

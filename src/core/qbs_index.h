@@ -35,34 +35,34 @@
 namespace qbs {
 
 struct QbsOptions {
-  // |R|; the paper's default is 20 (§6.1). Clamped to |V|.
+  /// |R|; the paper's default is 20 (§6.1). Clamped to |V|.
   uint32_t num_landmarks = 20;
   LandmarkStrategy landmark_strategy = LandmarkStrategy::kHighestDegree;
-  // Seed for the random landmark strategy.
+  /// Seed for the random landmark strategy.
   uint64_t seed = 42;
-  // Labelling construction threads: 1 = sequential QbS, 0 = all hardware
-  // threads (QbS-P), otherwise the exact count.
+  /// Labelling construction threads: 1 = sequential QbS, 0 = all hardware
+  /// threads (QbS-P), otherwise the exact count.
   size_t num_threads = 1;
-  // Precompute Δ: the shortest path graphs between landmarks (§5.2), so
-  // queries splice cached segments instead of re-deriving them. On by
-  // default — the paper's QbS includes Δ (Table 3 reports its size for
-  // every dataset); turn off to trade query time for build time/space.
+  /// Precompute Δ: the shortest path graphs between landmarks (§5.2), so
+  /// queries splice cached segments instead of re-deriving them. On by
+  /// default — the paper's QbS includes Δ (Table 3 reports its size for
+  /// every dataset); turn off to trade query time for build time/space.
   bool precompute_delta = true;
-  // Build Akiba-style bit-parallel masks (the 64 nearest non-landmark
-  // neighbours of each landmark) alongside the labels. Queries then answer
-  // d(s, t) <= 2 pairs straight from the labelling — no sketch, search, or
-  // recover work — and DistanceUpperBound() tightens. Costs 16 bytes per
-  // label slot plus one extra adjacency sweep per landmark at build.
+  /// Build Akiba-style bit-parallel masks (the 64 nearest non-landmark
+  /// neighbours of each landmark) alongside the labels. Queries then answer
+  /// d(s, t) <= 2 pairs straight from the labelling — no sketch, search, or
+  /// recover work — and DistanceUpperBound() tightens. Costs 16 bytes per
+  /// label slot plus one extra adjacency sweep per landmark at build.
   bool bit_parallel = true;
-  // Fuse the S^{-1} mask propagation into the labelling BFS instead of
-  // replaying two post-BFS sweeps per landmark (LabelingBuildOptions::
-  // bp_fused). Identical masks either way; off only for the fused-vs-
-  // replay ablation and equivalence tests.
+  /// Fuse the S^{-1} mask propagation into the labelling BFS instead of
+  /// replaying two post-BFS sweeps per landmark (LabelingBuildOptions::
+  /// bp_fused). Identical masks either way; off only for the fused-vs-
+  /// replay ablation and equivalence tests.
   bool bp_fused = true;
-  // Mask-guided search pruning (GuidedSearcher::set_mask_prune): the
-  // refined label upper bound caps the search budget and mask-lifted
-  // per-vertex lower bounds skip frontier vertices that cannot lie on a
-  // relevant path. Identical answers either way; off for ablation.
+  /// Mask-guided search pruning (GuidedSearcher::set_mask_prune): the
+  /// refined label upper bound caps the search budget and mask-lifted
+  /// per-vertex lower bounds skip frontier vertices that cannot lie on a
+  /// relevant path. Identical answers either way; off for ablation.
   bool mask_prune = true;
 };
 
@@ -73,67 +73,67 @@ struct QbsBuildTimings {
 
 class QbsIndex {
  public:
-  // Builds an index over `g`, which must outlive the index.
+  /// Builds an index over `g`, which must outlive the index.
   static QbsIndex Build(const Graph& g, const QbsOptions& options = {});
 
-  // As Build(), with caller-chosen landmarks (distinct vertex ids).
+  /// As Build(), with caller-chosen landmarks (distinct vertex ids).
   static QbsIndex BuildWithLandmarks(const Graph& g,
                                      std::vector<VertexId> landmarks,
                                      const QbsOptions& options = {});
 
-  // Loads a labelling scheme previously written by Save() and finishes the
-  // index against `g` (which must be the same graph the scheme was built
-  // on; vertex-count mismatches are rejected). Honors
-  // options.precompute_delta / num_threads for the Δ rebuild. Returns
-  // std::nullopt on I/O or format errors.
+  /// Loads a labelling scheme previously written by Save() and finishes the
+  /// index against `g` (which must be the same graph the scheme was built
+  /// on; vertex-count mismatches are rejected). Honors
+  /// options.precompute_delta / num_threads for the Δ rebuild. Returns
+  /// std::nullopt on I/O or format errors.
   static std::optional<QbsIndex> LoadFromFile(const Graph& g,
                                               const std::string& path,
                                               const QbsOptions& options = {});
 
-  // Persists the labelling scheme (labels + meta-graph; Δ is rebuilt on
-  // load). Returns false on I/O failure.
+  /// Persists the labelling scheme (labels + meta-graph; Δ is rebuilt on
+  /// load). Returns false on I/O failure.
   bool Save(const std::string& path) const;
 
   QbsIndex(QbsIndex&&) = default;
   QbsIndex& operator=(QbsIndex&&) = default;
 
-  // Answers SPG(u, v) exactly. Non-const: reuses the index's single
-  // searcher scratch, so serialize calls to Query(); for concurrent reads
-  // use QueryBatch (which checks searchers out of a locked pool).
+  /// Answers SPG(u, v) exactly. Non-const: reuses the index's single
+  /// searcher scratch, so serialize calls to Query(); for concurrent reads
+  /// use QueryBatch (which checks searchers out of a locked pool).
   ShortestPathGraph Query(VertexId u, VertexId v,
                           SearchStats* stats = nullptr);
 
-  // Tuning knobs for QueryBatch.
+  /// Tuning knobs for QueryBatch.
   struct BatchOptions {
-    // 0 = all hardware threads.
+    /// 0 = all hardware threads.
     size_t num_threads = 0;
-    // Queries handed to a worker per grab from the shared cursor (the
-    // ParallelFor grain); 0 picks pairs/(threads*8). Smaller values
-    // rebalance skewed query costs better.
+    /// Queries handed to a worker per grab from the shared cursor (the
+    /// ParallelFor grain); 0 picks pairs/(threads*8). Smaller values
+    /// rebalance skewed query costs better.
     size_t grain = 0;
   };
 
-  // Answers many queries in parallel. Workers share the index's read-only
-  // state and the materialized sparsified graph, and draw searchers from a
-  // persistent pool (grown on first use, reused across batches); results
-  // align with `pairs`. Safe to call concurrently with other QueryBatch
-  // calls on the same index (each call checks searchers out of the pool
-  // under a lock), but not with the single-searcher Query().
+  /// Answers many queries in parallel. Workers share the index's read-only
+  /// state and the materialized sparsified graph, and draw searchers from a
+  /// persistent pool (grown on first use, reused across batches); results
+  /// align with `pairs`. Safe to call concurrently with other QueryBatch
+  /// calls on the same index (each call checks searchers out of the pool
+  /// under a lock), but not with the single-searcher Query().
   std::vector<ShortestPathGraph> QueryBatch(
       const std::vector<std::pair<VertexId, VertexId>>& pairs,
       const BatchOptions& options);
 
-  // Back-compat convenience: QueryBatch with the default grain.
+  /// Back-compat convenience: QueryBatch with the default grain.
   std::vector<ShortestPathGraph> QueryBatch(
       const std::vector<std::pair<VertexId, VertexId>>& pairs,
       size_t num_threads = 0);
 
-  // RAII checkout of `count` searchers from the QueryBatch pool, topping
-  // the pool up with freshly constructed ones as needed. The destructor
-  // returns every searcher, so a query that throws mid-batch (e.g. an
-  // allocation failure surfacing through ParallelFor's inline worker)
-  // unwinds without shrinking the pool. QueryBatch checks its workers'
-  // searchers out through this guard; exposed for its regression tests.
+  /// RAII checkout of `count` searchers from the QueryBatch pool, topping
+  /// the pool up with freshly constructed ones as needed. The destructor
+  /// returns every searcher, so a query that throws mid-batch (e.g. an
+  /// allocation failure surfacing through ParallelFor's inline worker)
+  /// unwinds without shrinking the pool. QueryBatch checks its workers'
+  /// searchers out through this guard; exposed for its regression tests.
   class SearcherLease {
    public:
     SearcherLease(QbsIndex& index, size_t count);
@@ -149,61 +149,67 @@ class QbsIndex {
     std::vector<std::unique_ptr<GuidedSearcher>> searchers_;
   };
 
-  // Searchers currently idle in the QueryBatch pool (observability for the
-  // lease regression tests and capacity debugging).
+  /// Searchers currently idle in the QueryBatch pool (observability for the
+  /// lease regression tests and capacity debugging).
   size_t BatchSearcherPoolSize() const;
 
-  // An upper bound on d_G(u, v): the sketch bound d⊤ (Eq. 3) — tight
-  // whenever a shortest path crosses a landmark — further tightened by the
-  // bit-parallel label bound when masks are present (tight whenever a
-  // shortest path crosses a landmark's selected neighbourhood). O(|R|^2),
-  // no search.
+  /// An upper bound on d_G(u, v): the sketch bound d⊤ (Eq. 3) — tight
+  /// whenever a shortest path crosses a landmark — further tightened by the
+  /// bit-parallel label bound when masks are present (tight whenever a
+  /// shortest path crosses a landmark's selected neighbourhood). O(|R|^2),
+  /// no search.
   uint32_t DistanceUpperBound(VertexId u, VertexId v) const;
 
-  // size(BP): bytes of the bit-parallel mask matrix (0 when built with
-  // bit_parallel = false).
+  /// size(BP): bytes of the bit-parallel mask matrix (0 when built with
+  /// bit_parallel = false).
   uint64_t BpMaskSizeBytes() const {
     return scheme_->labeling.BpSizeBytes();
   }
 
+  /// The landmark set R, in label-index order.
   const std::vector<VertexId>& landmarks() const {
     return scheme_->labeling.landmarks();
   }
+  /// The path labelling L (read-only).
   const PathLabeling& labeling() const { return scheme_->labeling; }
+  /// The landmark meta-graph M (read-only).
   const MetaGraph& meta_graph() const { return scheme_->meta; }
+  /// The Δ cache, or nullptr when built with precompute_delta = false.
   const DeltaCache* delta_cache() const { return delta_.get(); }
+  /// Wall-clock timings of the offline phase.
   const QbsBuildTimings& timings() const { return timings_; }
 
-  // size(L): bytes of the path labelling (Table 3).
+  /// size(L): bytes of the path labelling (Table 3).
   uint64_t LabelingSizeBytes() const {
     return scheme_->labeling.SizeBytes();
   }
-  // size(Δ): bytes of the precomputed landmark shortest path graphs
-  // (Table 3); 0 when precompute_delta is off.
+  /// size(Δ): bytes of the precomputed landmark shortest path graphs
+  /// (Table 3); 0 when precompute_delta is off.
   uint64_t DeltaSizeBytes() const {
     return delta_ == nullptr ? 0 : delta_->SizeBytes();
   }
+  /// Bytes of the meta-graph (edge list + APSP table).
   uint64_t MetaGraphSizeBytes() const { return scheme_->meta.SizeBytes(); }
 
  private:
   QbsIndex() = default;
 
   const Graph* g_ = nullptr;  // not owned
-  // Heap-allocated so GuidedSearcher's references survive moves.
+  /// Heap-allocated so GuidedSearcher's references survive moves.
   std::unique_ptr<LabelingScheme> scheme_;
   std::unique_ptr<Graph> sparsified_;  // shared G⁻ for all searchers
   std::unique_ptr<DeltaCache> delta_;
   std::unique_ptr<GuidedSearcher> searcher_;
-  // Idle searchers for QueryBatch, grown on demand and reused across
-  // batches (a searcher holds O(|V|) scratch; rebuilding per batch would
-  // dominate small batches). Each call checks out what it needs under the
-  // mutex, so concurrent QueryBatch calls never share a searcher.
+  /// Idle searchers for QueryBatch, grown on demand and reused across
+  /// batches (a searcher holds O(|V|) scratch; rebuilding per batch would
+  /// dominate small batches). Each call checks out what it needs under the
+  /// mutex, so concurrent QueryBatch calls never share a searcher.
   std::unique_ptr<std::mutex> batch_searchers_mu_ =
       std::make_unique<std::mutex>();
   std::vector<std::unique_ptr<GuidedSearcher>> batch_searchers_;
   QbsBuildTimings timings_;
-  // Mask-guided pruning setting applied to every searcher this index
-  // constructs (QbsOptions::mask_prune).
+  /// Mask-guided pruning setting applied to every searcher this index
+  /// constructs (QbsOptions::mask_prune).
   bool mask_prune_ = true;
 };
 

@@ -27,9 +27,9 @@
 
 namespace qbs {
 
-// An edge (t, r) of the sketch between an endpoint t ∈ {u, v} and a
-// landmark, weighted σ_S(t, r) = d_G(t, r). delta == 0 iff t is itself that
-// landmark.
+/// An edge (t, r) of the sketch between an endpoint t ∈ {u, v} and a
+/// landmark, weighted σ_S(t, r) = d_G(t, r). delta == 0 iff t is itself that
+/// landmark.
 struct SketchAnchor {
   LandmarkIndex landmark = 0;
   DistT delta = 0;
@@ -44,72 +44,72 @@ struct SketchAnchor {
 };
 
 struct Sketch {
-  // d⊤_uv of Eq. 3; kUnreachable when no landmark route connects u and v.
+  /// d⊤_uv of Eq. 3; kUnreachable when no landmark route connects u and v.
   uint32_t d_top = kUnreachable;
-  // Sketch edges (u, r) and (v, r') over all minimizing pairs.
+  /// Sketch edges (u, r) and (v, r') over all minimizing pairs.
   std::vector<SketchAnchor> u_anchors;
   std::vector<SketchAnchor> v_anchors;
-  // Meta-edges lying on a shortest meta-path of some minimizing pair.
+  /// Meta-edges lying on a shortest meta-path of some minimizing pair.
   std::vector<MetaEdge> meta_edges;
-  // Eq. 4 search-depth guides (0 when a side has no anchors or is itself a
-  // landmark).
+  /// Eq. 4 search-depth guides (0 when a side has no anchors or is itself a
+  /// landmark).
   uint32_t d_star_u = 0;
   uint32_t d_star_v = 0;
 };
 
-// Reusable buffers for sketch computation: queries are microsecond-scale,
-// so per-query allocations are a measurable constant factor.
+/// Reusable buffers for sketch computation: queries are microsecond-scale,
+/// so per-query allocations are a measurable constant factor.
 struct SketchScratch {
   std::vector<SketchAnchor> cu, cv;
   std::vector<std::pair<LandmarkIndex, LandmarkIndex>> min_pairs;
   std::vector<uint8_t> meta_edge_used;
 };
 
-// Computes the sketch for SPG(u, v). Either endpoint may be a landmark, in
-// which case it participates with the virtual entry (itself, 0).
+/// Computes the sketch for SPG(u, v). Either endpoint may be a landmark, in
+/// which case it participates with the virtual entry (itself, 0).
 Sketch ComputeSketch(const PathLabeling& labeling, const MetaGraph& meta,
                      VertexId u, VertexId v);
 
-// Allocation-free variant: clears and refills *sketch using *scratch.
-// With with_meta_edges = false, the meta-edge sweep (the O(|E_M| · pairs)
-// part) is skipped and sketch->meta_edges stays empty; call
-// ComputeSketchMetaEdges later to fill it. The guided search defers the
-// sweep this way because most queries resolve entirely inside the
-// sparsified graph and never read the meta-edges. With reuse_candidates =
-// true, scratch->cu / scratch->cv are taken as already filled (by
-// ComputeAnchorCandidatesInto for the same u, v) instead of re-scanning
-// the label rows — the guided search shares one scan between the label
-// bound check and the sketch.
+/// Allocation-free variant: clears and refills *sketch using *scratch.
+/// With with_meta_edges = false, the meta-edge sweep (the O(|E_M| · pairs)
+/// part) is skipped and sketch->meta_edges stays empty; call
+/// ComputeSketchMetaEdges later to fill it. The guided search defers the
+/// sweep this way because most queries resolve entirely inside the
+/// sparsified graph and never read the meta-edges. With reuse_candidates =
+/// true, scratch->cu / scratch->cv are taken as already filled (by
+/// ComputeAnchorCandidatesInto for the same u, v) instead of re-scanning
+/// the label rows — the guided search shares one scan between the label
+/// bound check and the sketch.
 void ComputeSketchInto(const PathLabeling& labeling, const MetaGraph& meta,
                        VertexId u, VertexId v, Sketch* sketch,
                        SketchScratch* scratch, bool with_meta_edges = true,
                        bool reuse_candidates = false);
 
-// Allocation-free AnchorCandidates: clears and refills *out with the label
-// entries of `t` in ascending landmark order (or the single virtual entry
-// for a landmark).
+/// Allocation-free AnchorCandidates: clears and refills *out with the label
+/// entries of `t` in ascending landmark order (or the single virtual entry
+/// for a landmark).
 void ComputeAnchorCandidatesInto(const PathLabeling& labeling, VertexId t,
                                  std::vector<SketchAnchor>* out);
 
-// Runs the deferred meta-edge sweep for a sketch produced by
-// ComputeSketchInto(..., /*with_meta_edges=*/false) with the same scratch
-// (which still holds the minimizing pairs).
+/// Runs the deferred meta-edge sweep for a sketch produced by
+/// ComputeSketchInto(..., /*with_meta_edges=*/false) with the same scratch
+/// (which still holds the minimizing pairs).
 void ComputeSketchMetaEdges(const MetaGraph& meta, Sketch* sketch,
                             SketchScratch* scratch);
 
-// The label entries of `t` as sketch-anchor candidates: its stored label,
-// or {(rank(t), 0)} if t is a landmark.
+/// The label entries of `t` as sketch-anchor candidates: its stored label,
+/// or {(rank(t), 0)} if t is a landmark.
 std::vector<SketchAnchor> AnchorCandidates(const PathLabeling& labeling,
                                            VertexId t);
 
-// True iff the bit-parallel masks of a shared landmark witness a per-
-// neighbour lower bound one above |du - dv|: a bit j set on both sides pins
-// d(u_j, u) and d(u_j, v) exactly (S^{-1} = delta - 1, S^0 = delta), and
-// the pinned distances disagree hardest when the smaller-delta side holds
-// the S^{-1} bit and the larger-delta side the S^0 bit (or the deltas tie
-// and any S^{-1}/S^0 cross bit exists). Bits unset on either side pin
-// nothing, so all-zero masks (e.g. a v1 load that never built them) can
-// never lift the bound — the refinement degrades to "no witnesses".
+/// True iff the bit-parallel masks of a shared landmark witness a per-
+/// neighbour lower bound one above |du - dv|: a bit j set on both sides pins
+/// d(u_j, u) and d(u_j, v) exactly (S^{-1} = delta - 1, S^0 = delta), and
+/// the pinned distances disagree hardest when the smaller-delta side holds
+/// the S^{-1} bit and the larger-delta side the S^0 bit (or the deltas tie
+/// and any S^{-1}/S^0 cross bit exists). Bits unset on either side pin
+/// nothing, so all-zero masks (e.g. a v1 load that never built them) can
+/// never lift the bound — the refinement degrades to "no witnesses".
 inline bool BpMaskLowerLift(const BpMask& mu, const BpMask& mv, DistT du,
                             DistT dv) {
   if (du == dv) {
@@ -119,45 +119,45 @@ inline bool BpMaskLowerLift(const BpMask& mu, const BpMask& mv, DistT du,
   return (mu.s_minus & mv.s_zero) != 0;
 }
 
-// Distance bounds on d_G(u, v) read from the labelling alone — one fused
-// scan of the two label rows, O(|R|), no graph access.
+/// Distance bounds on d_G(u, v) read from the labelling alone — one fused
+/// scan of the two label rows, O(|R|), no graph access.
 struct LabelBound {
-  // max |δ_{u,r} - δ_{v,r}| over landmarks present in both labels (triangle
-  // inequality), lifted by one per landmark when a bit-parallel mask
-  // witness (BpMaskLowerLift) pins a selected neighbour's exact distances
-  // harder than the deltas alone; 0 when the labels share no landmark.
+  /// max |δ_{u,r} - δ_{v,r}| over landmarks present in both labels (triangle
+  /// inequality), lifted by one per landmark when a bit-parallel mask
+  /// witness (BpMaskLowerLift) pins a selected neighbour's exact distances
+  /// harder than the deltas alone; 0 when the labels share no landmark.
   uint32_t lower = 0;
-  // min over shared landmarks of δ_{u,r} + δ_{v,r}, refined by the
-  // bit-parallel masks when present: a common S_r^{-1} witness subtracts 2
-  // (the path u .. w .. v through the witness w skips r on both sides), an
-  // S^{-1}/S^0 cross witness subtracts 1. Every refined value is realized
-  // by an actual path, so this is a sound upper bound; kUnreachable when no
-  // landmark is shared.
+  /// min over shared landmarks of δ_{u,r} + δ_{v,r}, refined by the
+  /// bit-parallel masks when present: a common S_r^{-1} witness subtracts 2
+  /// (the path u .. w .. v through the witness w skips r on both sides), an
+  /// S^{-1}/S^0 cross witness subtracts 1. Every refined value is realized
+  /// by an actual path, so this is a sound upper bound; kUnreachable when no
+  /// landmark is shared.
   uint32_t upper = kUnreachable;
 };
 
-// Computes LabelBound for (u, v). Landmark endpoints are handled via the
-// other side's label row (exact when present: the endpoint is itself the
-// landmark) or, for a landmark pair, the meta-graph APSP distance (exact by
-// Corollary 4.6 — the endpoints are landmarks on every path). Requires
-// u != v.
-//
-// `refine_cutoff` bounds the mask work: a landmark's masks are only
-// consulted when the unrefined candidate could drop to <= refine_cutoff
-// (refinement subtracts at most 2). The query hot path passes 2 — it only
-// acts on a certified d <= 2 — which skips the mask cache lines for every
-// farther landmark; the default refines everything (tightest bound). The
-// lower-bound lift rides the same gate: only landmarks whose masks are
-// read for the upper refinement can lift `lower`.
+/// Computes LabelBound for (u, v). Landmark endpoints are handled via the
+/// other side's label row (exact when present: the endpoint is itself the
+/// landmark) or, for a landmark pair, the meta-graph APSP distance (exact by
+/// Corollary 4.6 — the endpoints are landmarks on every path). Requires
+/// u != v.
+///
+/// `refine_cutoff` bounds the mask work: a landmark's masks are only
+/// consulted when the unrefined candidate could drop to <= refine_cutoff
+/// (refinement subtracts at most 2). The query hot path passes 2 — it only
+/// acts on a certified d <= 2 — which skips the mask cache lines for every
+/// farther landmark; the default refines everything (tightest bound). The
+/// lower-bound lift rides the same gate: only landmarks whose masks are
+/// read for the upper refinement can lift `lower`.
 LabelBound ComputeLabelBound(const PathLabeling& labeling,
                              const MetaGraph& meta, VertexId u, VertexId v,
                              uint32_t refine_cutoff = kUnreachable);
 
-// As ComputeLabelBound for non-landmark-pair queries, over candidate rows
-// already produced by ComputeAnchorCandidatesInto(u) / (v) — a sorted
-// merge on landmark index, no label-row re-scan. (A landmark endpoint is
-// its single virtual entry; a landmark *pair* never shares a candidate, so
-// callers handle that case via MetaGraph::Distance first.)
+/// As ComputeLabelBound for non-landmark-pair queries, over candidate rows
+/// already produced by ComputeAnchorCandidatesInto(u) / (v) — a sorted
+/// merge on landmark index, no label-row re-scan. (A landmark endpoint is
+/// its single virtual entry; a landmark *pair* never shares a candidate, so
+/// callers handle that case via MetaGraph::Distance first.)
 LabelBound ComputeLabelBoundFromCandidates(
     const PathLabeling& labeling, const std::vector<SketchAnchor>& cu,
     const std::vector<SketchAnchor>& cv, VertexId u, VertexId v,

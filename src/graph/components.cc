@@ -40,9 +40,14 @@ ComponentInfo ConnectedComponents(const Graph& g) {
 }
 
 SubgraphResult LargestComponent(const Graph& g) {
+  if (g.NumVertices() == 0) return {};
+  return LargestComponent(g, ConnectedComponents(g));
+}
+
+SubgraphResult LargestComponent(const Graph& g, const ComponentInfo& info) {
   SubgraphResult result;
   if (g.NumVertices() == 0) return result;
-  const ComponentInfo info = ConnectedComponents(g);
+  QBS_CHECK_EQ(info.component.size(), g.NumVertices());
 
   std::vector<VertexId> to_new(g.NumVertices(), UINT32_MAX);
   for (VertexId v = 0; v < g.NumVertices(); ++v) {

@@ -38,6 +38,12 @@ struct SubgraphResult {
 // to a dense range.
 SubgraphResult LargestComponent(const Graph& g);
 
+// As above, reusing an already-computed component labelling of g — callers
+// that inspect ConnectedComponents(g) first (e.g. the dataset converter
+// deciding whether extraction is needed at all) avoid a second full-graph
+// traversal.
+SubgraphResult LargestComponent(const Graph& g, const ComponentInfo& info);
+
 // True iff g is connected (or empty).
 bool IsConnected(const Graph& g);
 

@@ -1,0 +1,94 @@
+// Real-dataset ingestion: raw SNAP/LAW edge lists -> a versioned binary
+// graph cache that amortizes parsing and largest-CC extraction across runs.
+//
+// Cache format QBSGRF01 (little-endian, host-endianness — a single-machine
+// artifact like the index files):
+//   u64  magic 'QBSGRF01'
+//   u32  num_vertices n
+//   u64  num_undirected_edges m
+//   u8   largest_cc_extracted        (1 = the payload is the largest
+//                                     connected component of the raw file,
+//                                     vertices relabelled dense)
+//   u64  raw_vertices, raw_edges     (the raw file's counts before
+//                                     extraction; == n, m when the raw
+//                                     graph was already connected)
+//   u64  raw_file_bytes              (on-disk size of the raw file the
+//                                     cache was converted from; 0 = unknown)
+//   u64  payload_bytes
+//   u64  payload_checksum            (FNV-1a 64 over the payload bytes)
+//   u64  offsets[n + 1]              -- payload from here
+//   u32  adjacency[2 m]
+//
+// The payload is the Graph's CSR verbatim, so a cache round trip is
+// bit-identical: Graph::LoadCached(p) after SaveGraphCache(g, ., p) yields
+// exactly g's RawOffsets()/RawAdjacency(). Loads verify the checksum and
+// reject corrupt or truncated files.
+//
+// Raw-side reading goes through ReadEdgeListAuto, which adds transparent
+// gzip decompression (".gz" suffix, via zlib when built with it) on top of
+// graph/edge_list_io.h. tools/fetch_datasets.py downloads the raw files;
+// workload/datasets.h maps paper dataset names onto them.
+
+#ifndef QBS_GRAPH_DATASET_IO_H_
+#define QBS_GRAPH_DATASET_IO_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "graph/edge_list_io.h"
+#include "graph/graph.h"
+
+namespace qbs {
+
+// Provenance recorded in a QBSGRF01 header alongside the CSR payload.
+struct DatasetCacheInfo {
+  // True when the cached graph is the largest connected component of the
+  // raw edge list (vertices relabelled to a dense range), the reduction
+  // the paper applies to every dataset.
+  bool largest_cc_extracted = false;
+  // The raw file's vertex/undirected-edge counts before extraction (after
+  // dedup of parallel edges and removal of self-loops). Equal to the
+  // cached graph's counts when the raw graph was already connected.
+  uint64_t raw_vertices = 0;
+  uint64_t raw_edges = 0;
+  // On-disk byte size of the raw file the cache was converted from (0 =
+  // unknown). LoadOrConvertDataset uses it to detect a re-downloaded /
+  // replaced raw file and rebuild the cache instead of serving stale data.
+  uint64_t raw_file_bytes = 0;
+};
+
+// As ReadEdgeList, but paths ending in ".gz" are decompressed on the fly.
+// Built without zlib, ".gz" paths fail with a message (plain paths still
+// work). Returns std::nullopt on I/O or parse failure.
+std::optional<Graph> ReadEdgeListAuto(const std::string& path,
+                                      const EdgeListReadOptions& options = {});
+
+// True when this build can decompress ".gz" edge lists (zlib was found).
+bool GzipSupported();
+
+// Writes `g` and its provenance to `path` in QBSGRF01 format. Returns
+// false on I/O failure.
+bool SaveGraphCache(const Graph& g, const DatasetCacheInfo& info,
+                    const std::string& path);
+
+// Reads a QBSGRF01 file. Verifies magic, header sanity, and the payload
+// checksum; returns std::nullopt (with a stderr message) on any mismatch.
+// On success *info (when non-null) receives the header's provenance.
+std::optional<Graph> LoadGraphCache(const std::string& path,
+                                    DatasetCacheInfo* info = nullptr);
+
+// The cache-or-convert entry point: loads `cache_path` if it exists and
+// verifies, otherwise parses `raw_path` (gz-aware), extracts the largest
+// connected component, writes the cache, and returns the graph. A cache
+// that fails verification — or whose recorded raw-file size disagrees with
+// a raw file currently on disk (a re-download replaced it) — is rebuilt
+// from the raw file. Returns std::nullopt when neither source yields a
+// graph.
+std::optional<Graph> LoadOrConvertDataset(const std::string& raw_path,
+                                          const std::string& cache_path,
+                                          DatasetCacheInfo* info = nullptr);
+
+}  // namespace qbs
+
+#endif  // QBS_GRAPH_DATASET_IO_H_

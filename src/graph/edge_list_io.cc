@@ -29,14 +29,9 @@ bool ParseUint64(const char*& p, uint64_t* out) {
 
 }  // namespace
 
-std::optional<Graph> ReadEdgeList(const std::string& path,
-                                  const EdgeListReadOptions& options) {
-  std::ifstream in(path);
-  if (!in) {
-    std::cerr << "ReadEdgeList: cannot open " << path << std::endl;
-    return std::nullopt;
-  }
-
+std::optional<Graph> ReadEdgeListFromLines(
+    const std::function<bool(std::string*)>& next_line,
+    const EdgeListReadOptions& options, const std::string& origin) {
   GraphBuilder builder;
   std::unordered_map<uint64_t, VertexId> relabel_map;
   auto map_id = [&](uint64_t raw) -> VertexId {
@@ -49,7 +44,7 @@ std::optional<Graph> ReadEdgeList(const std::string& path,
 
   std::string line;
   size_t line_no = 0;
-  while (std::getline(in, line)) {
+  while (next_line(&line)) {
     ++line_no;
     if (line.empty()) continue;
     if (options.comment_prefixes.find(line[0]) != std::string::npos) continue;
@@ -57,15 +52,15 @@ std::optional<Graph> ReadEdgeList(const std::string& path,
     uint64_t a = 0;
     uint64_t b = 0;
     if (!ParseUint64(p, &a) || !ParseUint64(p, &b)) {
-      std::cerr << "ReadEdgeList: parse error at " << path << ":" << line_no
-                << std::endl;
+      std::cerr << "ReadEdgeList: parse error at " << origin << ":" << line_no
+                << '\n';
       return std::nullopt;
     }
     if (!options.relabel &&
         (a > std::numeric_limits<VertexId>::max() ||
          b > std::numeric_limits<VertexId>::max())) {
-      std::cerr << "ReadEdgeList: id overflow at " << path << ":" << line_no
-                << " (enable relabel)" << std::endl;
+      std::cerr << "ReadEdgeList: id overflow at " << origin << ":" << line_no
+                << " (enable relabel)" << '\n';
       return std::nullopt;
     }
     // Sequence the lookups: first-appearance relabelling must follow the
@@ -77,10 +72,24 @@ std::optional<Graph> ReadEdgeList(const std::string& path,
   return builder.Build();
 }
 
+std::optional<Graph> ReadEdgeList(const std::string& path,
+                                  const EdgeListReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "ReadEdgeList: cannot open " << path << '\n';
+    return std::nullopt;
+  }
+  return ReadEdgeListFromLines(
+      [&in](std::string* line) {
+        return static_cast<bool>(std::getline(in, *line));
+      },
+      options, path);
+}
+
 bool WriteEdgeList(const Graph& g, const std::string& path) {
   std::ofstream out(path);
   if (!out) {
-    std::cerr << "WriteEdgeList: cannot open " << path << std::endl;
+    std::cerr << "WriteEdgeList: cannot open " << path << '\n';
     return false;
   }
   out << "# " << g.NumVertices() << " " << g.NumEdges() << "\n";

@@ -8,6 +8,7 @@
 #ifndef QBS_GRAPH_EDGE_LIST_IO_H_
 #define QBS_GRAPH_EDGE_LIST_IO_H_
 
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -30,6 +31,14 @@ struct EdgeListReadOptions {
 // failure (a message is written to stderr).
 std::optional<Graph> ReadEdgeList(const std::string& path,
                                   const EdgeListReadOptions& options = {});
+
+// Parser core shared by the plain-file and gzip readers
+// (graph/dataset_io.h): pulls lines from `next_line` (which returns false
+// at end of input) and builds the graph. `origin` names the source in
+// diagnostics. Returns std::nullopt on parse failure.
+std::optional<Graph> ReadEdgeListFromLines(
+    const std::function<bool(std::string*)>& next_line,
+    const EdgeListReadOptions& options, const std::string& origin);
 
 // Writes `g` as "u v" lines, one undirected edge per line, preceded by a
 // "# vertices edges" comment header. Returns false on I/O failure.

@@ -44,6 +44,32 @@ Graph Graph::FromEdges(VertexId num_vertices, std::vector<Edge> edges) {
   return g;
 }
 
+Graph Graph::FromCsr(std::vector<uint64_t> offsets,
+                     std::vector<VertexId> adjacency) {
+  QBS_CHECK(!offsets.empty());
+  QBS_CHECK_EQ(offsets.front(), 0u);
+  QBS_CHECK_EQ(offsets.back(), adjacency.size());
+  QBS_CHECK_EQ(adjacency.size() % 2, 0u);
+  const auto n = static_cast<VertexId>(offsets.size() - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    QBS_CHECK_LE(offsets[v], offsets[v + 1]);
+    for (uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      QBS_CHECK_LT(adjacency[i], n);
+      QBS_CHECK(adjacency[i] != v);
+      if (i > offsets[v]) QBS_CHECK_LT(adjacency[i - 1], adjacency[i]);
+    }
+  }
+  return AdoptCsr(std::move(offsets), std::move(adjacency));
+}
+
+Graph Graph::AdoptCsr(std::vector<uint64_t> offsets,
+                      std::vector<VertexId> adjacency) {
+  Graph g;
+  g.offsets_ = std::move(offsets);
+  g.adjacency_ = std::move(adjacency);
+  return g;
+}
+
 bool Graph::HasEdge(VertexId u, VertexId v) const {
   QBS_DCHECK(u < NumVertices() && v < NumVertices());
   // Search the smaller list.

@@ -12,7 +12,9 @@
 #define QBS_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -20,8 +22,15 @@ namespace qbs {
 
 using VertexId = uint32_t;
 
-// An undirected edge. Normalized() orders the endpoints so edge sets can be
-// compared with std::sort + std::unique.
+class Graph;
+struct DatasetCacheInfo;
+/// Declared here so the cache loader (graph/dataset_io.h, where the full
+/// contract lives) can be befriended for checksum-validated CSR adoption.
+std::optional<Graph> LoadGraphCache(const std::string& path,
+                                    DatasetCacheInfo* info);
+
+/// An undirected edge. Normalized() orders the endpoints so edge sets can be
+/// compared with std::sort + std::unique.
 struct Edge {
   VertexId u = 0;
   VertexId v = 0;
@@ -41,49 +50,82 @@ struct Edge {
 
 class Graph {
  public:
-  // Empty graph.
+  /// Empty graph.
   Graph() = default;
 
-  // Builds a graph with `num_vertices` vertices from an arbitrary edge list.
-  // Self-loops are dropped; duplicate edges (in either orientation) are
-  // merged. Endpoints must be < num_vertices.
+  /// Builds a graph with `num_vertices` vertices from an arbitrary edge list.
+  /// Self-loops are dropped; duplicate edges (in either orientation) are
+  /// merged. Endpoints must be < num_vertices.
   static Graph FromEdges(VertexId num_vertices, std::vector<Edge> edges);
 
+  /// Adopts already-built CSR arrays verbatim (no normalization). The arrays
+  /// must satisfy every Graph invariant — offsets monotone with
+  /// offsets[0] == 0 and offsets.back() == adjacency.size(), each adjacency
+  /// slice sorted strictly ascending with in-range non-self entries —
+  /// which is CHECK-enforced. This is the bit-identical path the dataset
+  /// cache loader uses; everything else should go through FromEdges.
+  static Graph FromCsr(std::vector<uint64_t> offsets,
+                       std::vector<VertexId> adjacency);
+
+  /// Loads a graph from a QBSGRF01 binary cache file written by
+  /// SaveGraphCache (graph/dataset_io.h). Returns std::nullopt on I/O
+  /// errors, bad magic, or a payload checksum mismatch.
+  static std::optional<Graph> LoadCached(const std::string& path);
+
+  /// Number of vertices; valid ids are [0, NumVertices()).
   VertexId NumVertices() const {
     return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
   }
 
-  // Number of undirected edges (each {u, v} counted once).
+  /// Number of undirected edges (each {u, v} counted once).
   uint64_t NumEdges() const { return adjacency_.size() / 2; }
 
+  /// Number of neighbours of v (the undirected degree).
   uint32_t Degree(VertexId v) const {
     return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
   }
 
-  // Sorted ascending adjacency list of v.
+  /// Sorted ascending adjacency list of v.
   std::span<const VertexId> Neighbors(VertexId v) const {
     return {adjacency_.data() + offsets_[v],
             adjacency_.data() + offsets_[v + 1]};
   }
 
-  // True iff the undirected edge {u, v} exists. O(log deg(u)).
+  /// True iff the undirected edge {u, v} exists. O(log deg(u)).
   bool HasEdge(VertexId u, VertexId v) const;
 
+  /// Largest degree over all vertices (0 for the empty graph).
   uint32_t MaxDegree() const;
+  /// 2|E| / |V| — both directions counted, as Table 1's "avg. deg" does.
   double AverageDegree() const;
 
-  // All undirected edges, each once, normalized and sorted.
+  /// All undirected edges, each once, normalized and sorted.
   std::vector<Edge> EdgeList() const;
 
-  // Bytes of the adjacency structure (offsets + adjacency), the quantity the
-  // paper's Table 1 reports as |G|.
+  /// Bytes of the adjacency structure (offsets + adjacency), the quantity the
+  /// paper's Table 1 reports as |G|.
   uint64_t SizeBytes() const {
     return offsets_.size() * sizeof(uint64_t) +
            adjacency_.size() * sizeof(VertexId);
   }
 
+  /// Raw CSR arrays, exposed for binary persistence (graph/dataset_io.h)
+  /// and bit-identity tests. offsets has NumVertices()+1 entries; adjacency
+  /// holds both directions of every undirected edge.
+  std::span<const uint64_t> RawOffsets() const { return offsets_; }
+  std::span<const VertexId> RawAdjacency() const { return adjacency_; }
+
  private:
-  // CSR arrays: neighbors of v are adjacency_[offsets_[v] .. offsets_[v+1]).
+  /// FromCsr without the invariant CHECKs. Reserved for the cache loader,
+  /// which just ran the equivalent graceful validation on the same arrays
+  /// (a second O(|V| + |E|) pass per load would cancel much of the cache's
+  /// point on billion-edge graphs).
+  static Graph AdoptCsr(std::vector<uint64_t> offsets,
+                        std::vector<VertexId> adjacency);
+  friend std::optional<Graph> LoadGraphCache(const std::string& path,
+                                             DatasetCacheInfo* info);
+
+  /// CSR arrays: neighbors of v are adjacency_[offsets_[v] .. offsets_[v+1]).
   std::vector<uint64_t> offsets_;
   std::vector<VertexId> adjacency_;
 };

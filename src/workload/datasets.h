@@ -1,0 +1,102 @@
+// The real-dataset registry: paper dataset names -> raw file -> binary
+// cache, with the synthetic Table-1 stand-ins as the offline fallback.
+//
+// tools/fetch_datasets.py downloads the raw edge lists into
+// <data_dir>/raw/ (SHA-256 verified); this registry maps a paper name
+// ("dblp", "youtube", ...; Table 1 abbreviations also accepted) onto that
+// file, converts it once into <data_dir>/cache/<name>.qbsgrf
+// (graph/dataset_io.h, largest-CC extracted), and loads the cache on every
+// later run. When no real data is present — CI and the offline evaluation
+// environment — resolution falls back to the synthetic stand-in of
+// workload/dataset_registry.h, so every caller keeps working network-free.
+
+#ifndef QBS_WORKLOAD_DATASETS_H_
+#define QBS_WORKLOAD_DATASETS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/dataset_io.h"
+#include "graph/graph.h"
+
+namespace qbs {
+
+// One downloadable dataset the paper evaluates on (plus Epinions, a small
+// SNAP network kept as the pipeline's smoke dataset).
+struct RealDatasetSpec {
+  std::string name;    // registry key, lowercase ("dblp")
+  std::string abbrev;  // Table 1 abbreviation linking to the synthetic
+                       // stand-in; empty when the dataset is not in Table 1
+  std::string file;    // raw filename under <data_dir>/raw/
+  std::string url;     // plain edge-list mirror; empty = no such mirror
+                       // exists (WebGraph/zip-only hosts), fetch manually
+  std::string sha256;  // expected SHA-256 of the raw file; empty = not
+                       // pinned yet (the fetcher then records the hash it
+                       // saw on first download and verifies later runs
+                       // against that)
+  // Vertex/edge counts the hosting page reports for the raw file (edges as
+  // the host counts them, directed for directed sources). Informational:
+  // shown by the fetcher's --list and used as a post-parse sanity warning.
+  uint64_t host_vertices = 0;
+  uint64_t host_edges = 0;
+  // Table 1 reference values (largest CC, millions); 0 for non-paper
+  // datasets.
+  double paper_vertices_m = 0.0;
+  double paper_edges_m = 0.0;
+};
+
+// All registry entries, paper order (Table 1) with Epinions appended.
+const std::vector<RealDatasetSpec>& RealDatasets();
+
+// Case-insensitive lookup by name ("dblp") or Table 1 abbreviation ("DB").
+// Returns nullptr when unknown.
+const RealDatasetSpec* FindRealDataset(const std::string& name);
+
+// Comma-separated "name (ABBREV)" list of every registry entry, for
+// error messages and usage text.
+std::string AvailableDatasetNames();
+
+// The default data directory: $QBS_DATA_DIR if set, else "data" (relative
+// to the working directory, the layout tools/fetch_datasets.py creates).
+std::string DefaultDataDir();
+
+// Canonical on-disk locations of a dataset's artifacts under `data_dir` —
+// the single definition of the layout, shared by the resolver, the CLI's
+// status command, and the tests.
+std::string RawPathFor(const RealDatasetSpec& spec,
+                       const std::string& data_dir);
+std::string CachePathFor(const RealDatasetSpec& spec,
+                         const std::string& data_dir);
+
+// A dataset resolved to a concrete graph.
+struct ResolvedDataset {
+  Graph graph;
+  // Where the graph came from: "cache" (binary cache hit), "raw"
+  // (parsed + cache written this run), or "stand-in" (synthetic fallback).
+  std::string source;
+  std::string name;    // registry name, or stand-in name for fallbacks
+  std::string abbrev;  // Table 1 abbreviation ("" for non-paper datasets)
+  // Provenance from the cache header (raw counts, largest-CC flag); all
+  // zero for stand-ins.
+  DatasetCacheInfo cache_info;
+  // Table 1 reference values for side-by-side reporting (0 when unknown).
+  double paper_vertices_m = 0.0;
+  double paper_edges_m = 0.0;
+};
+
+// Resolves `name` (real-dataset name or Table 1 abbreviation) to a graph:
+//   1. <data_dir>/cache/<name>.qbsgrf when present and valid;
+//   2. else <data_dir>/raw/<spec.file>, converting and writing the cache;
+//   3. else the synthetic stand-in generated at `synthetic_scale`
+//      (with a stderr notice), when the dataset has a Table 1 abbreviation.
+// Unknown names and datasets with neither local data nor a stand-in return
+// std::nullopt with a message listing the available names.
+std::optional<ResolvedDataset> ResolveDataset(const std::string& name,
+                                              const std::string& data_dir,
+                                              double synthetic_scale = 1.0);
+
+}  // namespace qbs
+
+#endif  // QBS_WORKLOAD_DATASETS_H_

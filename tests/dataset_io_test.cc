@@ -1,0 +1,268 @@
+// Tests for the real-dataset ingestion layer (graph/dataset_io.h): the
+// gz-aware edge-list reader and the QBSGRF01 binary cache — round-trip
+// bit-identity, corruption rejection, and the convert-once-then-cache flow.
+
+#include "graph/dataset_io.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/edge_list_io.h"
+#include "graph/graph.h"
+
+namespace qbs {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* FixturePlain() {
+  static const std::string* const kPath =
+      new std::string(std::string(QBS_TEST_DATA_DIR) + "/tiny_edges.txt");
+  return kPath->c_str();
+}
+
+const char* FixtureGz() {
+  static const std::string* const kPath =
+      new std::string(std::string(QBS_TEST_DATA_DIR) + "/tiny_edges.txt.gz");
+  return kPath->c_str();
+}
+
+std::string TempPath(const std::string& name) {
+  return (fs::path(::testing::TempDir()) / name).string();
+}
+
+void ExpectBitIdentical(const Graph& a, const Graph& b) {
+  const auto ao = a.RawOffsets();
+  const auto bo = b.RawOffsets();
+  ASSERT_EQ(ao.size(), bo.size());
+  for (size_t i = 0; i < ao.size(); ++i) EXPECT_EQ(ao[i], bo[i]) << i;
+  const auto aa = a.RawAdjacency();
+  const auto ba = b.RawAdjacency();
+  ASSERT_EQ(aa.size(), ba.size());
+  for (size_t i = 0; i < aa.size(); ++i) EXPECT_EQ(aa[i], ba[i]) << i;
+}
+
+// The fixture: vertices 0..4 plus {10, 11, 12} relabelled to 5..7;
+// dedup/self-loop removal leaves 7 undirected edges in two components.
+TEST(DatasetIoTest, ReadsPlainFixture) {
+  auto g = ReadEdgeListAuto(FixturePlain());
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->NumVertices(), 8u);
+  EXPECT_EQ(g->NumEdges(), 7u);
+  EXPECT_TRUE(g->HasEdge(0, 2));   // "2 0" line, normalized
+  EXPECT_TRUE(g->HasEdge(5, 6));   // "10 11" relabelled
+  EXPECT_FALSE(g->HasEdge(4, 4));  // self-loop dropped
+}
+
+TEST(DatasetIoTest, GzipFixtureMatchesPlain) {
+  if (!GzipSupported()) {
+    GTEST_SKIP() << "built without zlib";
+  }
+  auto plain = ReadEdgeListAuto(FixturePlain());
+  auto gz = ReadEdgeListAuto(FixtureGz());
+  ASSERT_TRUE(plain.has_value());
+  ASSERT_TRUE(gz.has_value());
+  ExpectBitIdentical(*plain, *gz);
+}
+
+TEST(DatasetIoTest, GzipWithoutZlibFailsCleanly) {
+  if (GzipSupported()) {
+    GTEST_SKIP() << "this build has zlib";
+  }
+  EXPECT_FALSE(ReadEdgeListAuto(FixtureGz()).has_value());
+}
+
+TEST(DatasetIoTest, CacheRoundTripIsBitIdentical) {
+  auto g = ReadEdgeListAuto(FixturePlain());
+  ASSERT_TRUE(g.has_value());
+  const std::string path = TempPath("roundtrip.qbsgrf");
+  DatasetCacheInfo info;
+  info.largest_cc_extracted = true;
+  info.raw_vertices = 123;
+  info.raw_edges = 456;
+  info.raw_file_bytes = 789;
+  ASSERT_TRUE(SaveGraphCache(*g, info, path));
+
+  DatasetCacheInfo loaded_info;
+  auto loaded = LoadGraphCache(path, &loaded_info);
+  ASSERT_TRUE(loaded.has_value());
+  ExpectBitIdentical(*g, *loaded);
+  EXPECT_TRUE(loaded_info.largest_cc_extracted);
+  EXPECT_EQ(loaded_info.raw_vertices, 123u);
+  EXPECT_EQ(loaded_info.raw_edges, 456u);
+  EXPECT_EQ(loaded_info.raw_file_bytes, 789u);
+
+  // Graph::LoadCached is the same loader.
+  auto via_graph = Graph::LoadCached(path);
+  ASSERT_TRUE(via_graph.has_value());
+  ExpectBitIdentical(*g, *via_graph);
+}
+
+TEST(DatasetIoTest, EmptyGraphRoundTrips) {
+  const std::string path = TempPath("empty.qbsgrf");
+  ASSERT_TRUE(SaveGraphCache(Graph(), DatasetCacheInfo{}, path));
+  auto loaded = LoadGraphCache(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->NumVertices(), 0u);
+  EXPECT_EQ(loaded->NumEdges(), 0u);
+}
+
+TEST(DatasetIoTest, CorruptedPayloadIsRejected) {
+  auto g = ReadEdgeListAuto(FixturePlain());
+  ASSERT_TRUE(g.has_value());
+  const std::string path = TempPath("corrupt.qbsgrf");
+  ASSERT_TRUE(SaveGraphCache(*g, DatasetCacheInfo{}, path));
+
+  // Flip one bit in the last payload byte (an adjacency entry).
+  const auto size = fs::file_size(path);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(size) - 1);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    f.seekp(static_cast<std::streamoff>(size) - 1);
+    f.write(&byte, 1);
+  }
+  EXPECT_FALSE(LoadGraphCache(path).has_value());
+}
+
+TEST(DatasetIoTest, CorruptedHeaderCountIsRejectedNotAllocated) {
+  // The checksum covers only the payload, so a bit-flipped header count
+  // must be caught by the file-size bound — not die in a ~2^62-byte
+  // std::bad_alloc.
+  auto g = ReadEdgeListAuto(FixturePlain());
+  ASSERT_TRUE(g.has_value());
+  const std::string path = TempPath("huge_header.qbsgrf");
+  ASSERT_TRUE(SaveGraphCache(*g, DatasetCacheInfo{}, path));
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    // Header layout: magic u64 @0, num_vertices u32 @8, num_edges u64 @12.
+    const uint64_t huge = 1ull << 60;
+    f.seekp(12);
+    f.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  }
+  EXPECT_FALSE(LoadGraphCache(path).has_value());
+}
+
+TEST(DatasetIoTest, BadMagicAndTruncationAreRejected) {
+  auto g = ReadEdgeListAuto(FixturePlain());
+  ASSERT_TRUE(g.has_value());
+  const std::string path = TempPath("header.qbsgrf");
+  ASSERT_TRUE(SaveGraphCache(*g, DatasetCacheInfo{}, path));
+
+  // Bad magic.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    char zero = 0;
+    f.write(&zero, 1);
+  }
+  EXPECT_FALSE(LoadGraphCache(path).has_value());
+
+  // Truncated payload.
+  ASSERT_TRUE(SaveGraphCache(*g, DatasetCacheInfo{}, path));
+  fs::resize_file(path, fs::file_size(path) - 8);
+  EXPECT_FALSE(LoadGraphCache(path).has_value());
+
+  // Missing file.
+  EXPECT_FALSE(LoadGraphCache(TempPath("never_written.qbsgrf")).has_value());
+}
+
+TEST(DatasetIoTest, LoadOrConvertExtractsLargestComponentAndCaches) {
+  // Copy the fixture so the raw file can be deleted to prove the second
+  // load never re-parses it.
+  const std::string raw = TempPath("convert_raw.txt");
+  const std::string cache = TempPath("convert.qbsgrf");
+  fs::remove(cache);
+  fs::copy_file(FixturePlain(), raw, fs::copy_options::overwrite_existing);
+
+  DatasetCacheInfo info;
+  auto converted = LoadOrConvertDataset(raw, cache, &info);
+  ASSERT_TRUE(converted.has_value());
+  // Largest CC of the two-component fixture: the 5-vertex triangle+path.
+  EXPECT_EQ(converted->NumVertices(), 5u);
+  EXPECT_EQ(converted->NumEdges(), 5u);
+  EXPECT_TRUE(info.largest_cc_extracted);
+  EXPECT_EQ(info.raw_vertices, 8u);
+  EXPECT_EQ(info.raw_edges, 7u);
+
+  fs::remove(raw);
+  DatasetCacheInfo info2;
+  auto cached = LoadOrConvertDataset(raw, cache, &info2);
+  ASSERT_TRUE(cached.has_value());
+  ExpectBitIdentical(*converted, *cached);
+  EXPECT_TRUE(info2.largest_cc_extracted);
+  EXPECT_EQ(info2.raw_vertices, 8u);
+}
+
+TEST(DatasetIoTest, LoadOrConvertRebuildsWhenRawFileChanges) {
+  // A replaced raw download (different size) must invalidate the cache:
+  // serving the old conversion forever would silently bench stale data.
+  const std::string raw = TempPath("stale_raw.txt");
+  const std::string cache = TempPath("stale.qbsgrf");
+  fs::remove(cache);
+  {
+    std::ofstream f(raw, std::ios::trunc);
+    f << "0 1\n1 2\n";
+  }
+  auto first = LoadOrConvertDataset(raw, cache, nullptr);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->NumVertices(), 3u);
+
+  {
+    std::ofstream f(raw, std::ios::trunc);
+    f << "0 1\n1 2\n2 3\n3 4\n";
+  }
+  DatasetCacheInfo info;
+  auto second = LoadOrConvertDataset(raw, cache, &info);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->NumVertices(), 5u);
+  EXPECT_EQ(info.raw_file_bytes, fs::file_size(raw));
+  // And the rebuilt cache now matches the new raw file: a third call is a
+  // cache hit (bit-identical, no re-parse needed).
+  fs::remove(raw);
+  auto third = LoadOrConvertDataset(raw, cache, nullptr);
+  ASSERT_TRUE(third.has_value());
+  ExpectBitIdentical(*second, *third);
+}
+
+TEST(DatasetIoTest, LoadOrConvertRebuildsRejectedCache) {
+  const std::string raw = TempPath("rebuild_raw.txt");
+  const std::string cache = TempPath("rebuild.qbsgrf");
+  fs::copy_file(FixturePlain(), raw, fs::copy_options::overwrite_existing);
+  {
+    std::ofstream garbage(cache, std::ios::binary | std::ios::trunc);
+    garbage << "not a qbsgrf file";
+  }
+  auto converted = LoadOrConvertDataset(raw, cache, nullptr);
+  ASSERT_TRUE(converted.has_value());
+  EXPECT_EQ(converted->NumVertices(), 5u);
+  // The cache was rewritten and now verifies.
+  EXPECT_TRUE(Graph::LoadCached(cache).has_value());
+}
+
+TEST(DatasetIoTest, LoadOrConvertWithNeitherSourceFails) {
+  EXPECT_FALSE(LoadOrConvertDataset(TempPath("no_raw.txt"),
+                                    TempPath("no_cache.qbsgrf"), nullptr)
+                   .has_value());
+}
+
+TEST(DatasetIoTest, FromCsrMatchesFromEdges) {
+  const Graph a = Graph::FromEdges(
+      4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}, {1, 3}});
+  const Graph b = Graph::FromCsr(
+      std::vector<uint64_t>(a.RawOffsets().begin(), a.RawOffsets().end()),
+      std::vector<VertexId>(a.RawAdjacency().begin(),
+                            a.RawAdjacency().end()));
+  ExpectBitIdentical(a, b);
+  EXPECT_EQ(b.NumEdges(), 5u);
+  EXPECT_TRUE(b.HasEdge(1, 3));
+}
+
+}  // namespace
+}  // namespace qbs

@@ -1,0 +1,135 @@
+// Tests for the real-dataset registry (workload/datasets.h): name/abbrev
+// lookup, the error path listing available names, the synthetic stand-in
+// fallback, and raw -> cache resolution against a local data directory.
+
+#include "workload/datasets.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "workload/dataset_registry.h"
+
+namespace qbs {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(DatasetsTest, FindsByNameAbbrevAndCase) {
+  ASSERT_NE(FindRealDataset("dblp"), nullptr);
+  EXPECT_EQ(FindRealDataset("dblp")->abbrev, "DB");
+  EXPECT_EQ(FindRealDataset("DBLP"), FindRealDataset("dblp"));
+  EXPECT_EQ(FindRealDataset("DB"), FindRealDataset("dblp"));
+  EXPECT_EQ(FindRealDataset("db"), FindRealDataset("dblp"));
+  ASSERT_NE(FindRealDataset("epinions"), nullptr);
+  EXPECT_TRUE(FindRealDataset("epinions")->abbrev.empty());
+  EXPECT_EQ(FindRealDataset("no-such-dataset"), nullptr);
+}
+
+TEST(DatasetsTest, RegistryCoversTable1AndIsWellFormed) {
+  // Every Table 1 stand-in has exactly one real-registry counterpart.
+  for (const DatasetSpec& standin : PaperDatasets()) {
+    const RealDatasetSpec* real = FindRealDataset(standin.abbrev);
+    ASSERT_NE(real, nullptr) << standin.abbrev;
+    EXPECT_EQ(real->abbrev, standin.abbrev);
+    EXPECT_NEAR(real->paper_vertices_m, standin.paper_vertices_m, 1e-9);
+    EXPECT_NEAR(real->paper_edges_m, standin.paper_edges_m, 1e-9);
+  }
+  for (const RealDatasetSpec& s : RealDatasets()) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_FALSE(s.file.empty()) << s.name;
+    EXPECT_TRUE(s.url.empty() || s.url.rfind("https://", 0) == 0) << s.name;
+    // Download targets must be parseable by ReadEdgeListAuto: plain or gz.
+    if (!s.url.empty()) {
+      const bool txt =
+          s.file.size() > 4 &&
+          (s.file.rfind(".txt") == s.file.size() - 4 ||
+           s.file.rfind(".txt.gz") == s.file.size() - 7);
+      EXPECT_TRUE(txt) << s.file;
+    }
+  }
+}
+
+TEST(DatasetsTest, AvailableNamesListsEverything) {
+  const std::string names = AvailableDatasetNames();
+  for (const RealDatasetSpec& s : RealDatasets()) {
+    EXPECT_NE(names.find(s.name), std::string::npos) << s.name;
+  }
+  EXPECT_NE(names.find("(DB)"), std::string::npos);
+}
+
+TEST(DatasetsTest, DefaultDataDirHonorsEnv) {
+  const char* old = std::getenv("QBS_DATA_DIR");
+  setenv("QBS_DATA_DIR", "/tmp/qbs-data-test", 1);
+  EXPECT_EQ(DefaultDataDir(), "/tmp/qbs-data-test");
+  if (old == nullptr) {
+    unsetenv("QBS_DATA_DIR");
+  } else {
+    setenv("QBS_DATA_DIR", old, 1);
+  }
+  if (std::getenv("QBS_DATA_DIR") == nullptr) {
+    EXPECT_EQ(DefaultDataDir(), "data");
+  }
+}
+
+TEST(DatasetsTest, UnknownNameFailsResolution) {
+  EXPECT_FALSE(
+      ResolveDataset("no-such-dataset", ::testing::TempDir()).has_value());
+}
+
+TEST(DatasetsTest, MissingDataFallsBackToStandIn) {
+  const std::string empty_dir =
+      (fs::path(::testing::TempDir()) / "no-data-here").string();
+  auto resolved = ResolveDataset("douban", empty_dir, /*synthetic_scale=*/0.1);
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(resolved->source, "stand-in");
+  EXPECT_EQ(resolved->name, "douban");
+  EXPECT_EQ(resolved->abbrev, "DO");
+  EXPECT_GT(resolved->graph.NumVertices(), 0u);
+  // The fallback is the Table 1 stand-in generator, bit-for-bit.
+  const Graph standin = MakeDataset(DatasetByAbbrev("DO"), 0.1);
+  EXPECT_EQ(resolved->graph.NumVertices(), standin.NumVertices());
+  EXPECT_EQ(resolved->graph.NumEdges(), standin.NumEdges());
+}
+
+TEST(DatasetsTest, NonPaperDatasetWithoutDataFailsResolution) {
+  // Epinions has no Table 1 stand-in, so nothing can substitute for it.
+  const std::string empty_dir =
+      (fs::path(::testing::TempDir()) / "still-no-data").string();
+  EXPECT_FALSE(ResolveDataset("epinions", empty_dir).has_value());
+}
+
+TEST(DatasetsTest, ResolvesRawThenHitsCache) {
+  const std::string data_dir =
+      (fs::path(::testing::TempDir()) / "datasets_test_data").string();
+  fs::remove_all(data_dir);
+  fs::create_directories(fs::path(data_dir) / "raw");
+  // Douban's registry file is a plain .txt, so a tiny stand-in raw file
+  // can be dropped in without gzip.
+  {
+    std::ofstream raw(fs::path(data_dir) / "raw" /
+                      FindRealDataset("douban")->file);
+    raw << "# two components\n0 1\n1 2\n2 0\n5 6\n";
+  }
+
+  auto first = ResolveDataset("douban", data_dir);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->source, "raw");
+  EXPECT_EQ(first->graph.NumVertices(), 3u);  // largest CC: the triangle
+  EXPECT_EQ(first->graph.NumEdges(), 3u);
+  EXPECT_TRUE(first->cache_info.largest_cc_extracted);
+  EXPECT_EQ(first->cache_info.raw_vertices, 5u);
+  EXPECT_TRUE(fs::exists(fs::path(data_dir) / "cache" / "douban.qbsgrf"));
+
+  auto second = ResolveDataset("douban", data_dir);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->source, "cache");
+  EXPECT_EQ(second->graph.NumVertices(), 3u);
+  EXPECT_EQ(second->cache_info.raw_vertices, 5u);
+  fs::remove_all(data_dir);
+}
+
+}  // namespace
+}  // namespace qbs

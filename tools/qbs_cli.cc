@@ -1,9 +1,16 @@
 // qbs — command-line front end for the library.
 //
 //   qbs generate <family> <out.edges> [args...]   synthesize a graph
-//   qbs stats    <graph.edges>                    print graph statistics
-//   qbs build    <graph.edges> <out.qbs> [opts]   build & save an index
-//   qbs query    <graph.edges> <index.qbs|-> <u> <v> [more u v ...]
+//   qbs stats    <graph>                          print graph statistics
+//   qbs build    <graph> <out.qbs> [opts]         build & save an index
+//   qbs query    <graph> <index.qbs|-> <u> <v> [more u v ...]
+//   qbs datasets                                  list the dataset registry
+//
+// <graph> is an edge-list path (".gz" decompressed on the fly) or
+// "dataset:<name>" — a real dataset resolved through the binary cache
+// under $QBS_DATA_DIR (default data/; populate with
+// tools/fetch_datasets.py), falling back to the Table 1 stand-in when no
+// data is present.
 //
 // generate families:
 //   ba <n> <m> [seed]           Barabási–Albert
@@ -21,6 +28,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,21 +37,73 @@
 #include "gen/generators.h"
 #include "graph/bfs.h"
 #include "graph/components.h"
+#include "graph/dataset_io.h"
 #include "graph/edge_list_io.h"
 #include "util/timer.h"
 #include "workload/dataset_registry.h"
+#include "workload/datasets.h"
 #include "workload/query_workload.h"
 
 namespace {
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: qbs generate <family> <out.edges> [args...]\n"
-               "       qbs stats <graph.edges>\n"
-               "       qbs build <graph.edges> <out.qbs> [--landmarks K] "
-               "[--threads T] [--strategy S] [--no-delta]\n"
-               "       qbs query <graph.edges> <index.qbs|-> <u> <v> ...\n");
+  std::fprintf(
+      stderr,
+      "usage: qbs generate <family> <out.edges> [args...]\n"
+      "       qbs stats <graph>\n"
+      "       qbs build <graph> <out.qbs> [--landmarks K] "
+      "[--threads T] [--strategy S] [--no-delta]\n"
+      "       qbs query <graph> <index.qbs|-> <u> <v> ...\n"
+      "       qbs datasets\n"
+      "<graph>: an edge-list path (.gz ok) or dataset:<name> "
+      "(see `qbs datasets`)\n");
   return 2;
+}
+
+// Resolves a <graph> argument: "dataset:<name>" goes through the real-
+// dataset registry (cache -> raw -> stand-in fallback), anything else is
+// an edge-list path (gz-aware).
+std::optional<qbs::Graph> LoadGraphArg(const std::string& arg) {
+  constexpr const char kPrefix[] = "dataset:";
+  if (arg.rfind(kPrefix, 0) == 0) {
+    auto resolved = qbs::ResolveDataset(arg.substr(sizeof(kPrefix) - 1),
+                                        qbs::DefaultDataDir());
+    if (!resolved.has_value()) return std::nullopt;
+    std::fprintf(stderr, "dataset %s: %u vertices, %llu edges (%s)\n",
+                 resolved->name.c_str(), resolved->graph.NumVertices(),
+                 static_cast<unsigned long long>(resolved->graph.NumEdges()),
+                 resolved->source.c_str());
+    return std::move(resolved->graph);
+  }
+  return qbs::ReadEdgeListAuto(arg);
+}
+
+int Datasets() {
+  const std::string data_dir = qbs::DefaultDataDir();
+  std::printf("data dir: %s (override with QBS_DATA_DIR)\n", data_dir.c_str());
+  std::printf("%-12s %-6s %-9s %-11s %-11s %s\n", "name", "Tbl.1", "status",
+              "host|V|", "host|E|", "file");
+  for (const auto& spec : qbs::RealDatasets()) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const bool cached = fs::exists(qbs::CachePathFor(spec, data_dir), ec);
+    const bool raw = fs::exists(qbs::RawPathFor(spec, data_dir), ec);
+    const char* status = cached ? "cached"
+                         : raw  ? "raw"
+                         : spec.url.empty() ? "manual"
+                                            : "absent";
+    std::printf("%-12s %-6s %-9s %-11llu %-11llu %s\n", spec.name.c_str(),
+                spec.abbrev.empty() ? "-" : spec.abbrev.c_str(), status,
+                static_cast<unsigned long long>(spec.host_vertices),
+                static_cast<unsigned long long>(spec.host_edges),
+                spec.file.c_str());
+  }
+  std::printf(
+      "\nfetch:   tools/fetch_datasets.py --only <name>   (downloads + "
+      "sha256)\nconvert: automatic on first dataset:<name> use (binary "
+      "cache under %s/cache)\n",
+      data_dir.c_str());
+  return 0;
 }
 
 uint64_t ArgU64(const char* s) { return std::strtoull(s, nullptr, 10); }
@@ -86,7 +147,7 @@ int Generate(int argc, char** argv) {
 
 int Stats(int argc, char** argv) {
   if (argc < 1) return Usage();
-  auto g = qbs::ReadEdgeList(argv[0]);
+  auto g = LoadGraphArg(argv[0]);
   if (!g.has_value()) return 1;
   const auto info = qbs::ConnectedComponents(*g);
   std::printf("vertices:        %u\n", g->NumVertices());
@@ -139,7 +200,7 @@ bool ParseBuildOptions(int argc, char** argv, qbs::QbsOptions* options) {
 
 int Build(int argc, char** argv) {
   if (argc < 2) return Usage();
-  auto g = qbs::ReadEdgeList(argv[0]);
+  auto g = LoadGraphArg(argv[0]);
   if (!g.has_value()) return 1;
   qbs::QbsOptions options;
   options.num_threads = 0;
@@ -161,7 +222,7 @@ int Build(int argc, char** argv) {
 
 int Query(int argc, char** argv) {
   if (argc < 4 || (argc - 2) % 2 != 0) return Usage();
-  auto g = qbs::ReadEdgeList(argv[0]);
+  auto g = LoadGraphArg(argv[0]);
   if (!g.has_value()) return 1;
 
   std::optional<qbs::QbsIndex> index;
@@ -211,5 +272,6 @@ int main(int argc, char** argv) {
   if (cmd == "stats") return Stats(argc - 2, argv + 2);
   if (cmd == "build") return Build(argc - 2, argv + 2);
   if (cmd == "query") return Query(argc - 2, argv + 2);
+  if (cmd == "datasets") return Datasets();
   return Usage();
 }
