@@ -29,8 +29,8 @@ void Run() {
                       "skipped", "q.noDelta", "q.Delta", "q.randomLm"},
                      {12, 11, 11, 7, 11, 10, 10, 11});
 
-  for (const auto& spec : SelectedDatasets()) {
-    const LoadedDataset d = LoadDataset(spec);
+  for (const auto& ref : SelectedBenchDatasets()) {
+    const LoadedDataset d = LoadDataset(ref);
     const Graph& g = d.graph;
 
     QbsOptions options;
@@ -77,7 +77,7 @@ void Run() {
     const double avg_bibfs =
         static_cast<double>(bibfs_scans) / d.pairs.size();
     const double avg_qbs = static_cast<double>(qbs_scans) / d.pairs.size();
-    table.Row({spec.abbrev, FormatDouble(avg_bibfs, 0),
+    table.Row({d.spec.abbrev, FormatDouble(avg_bibfs, 0),
                FormatDouble(avg_qbs, 0),
                FormatDouble(avg_qbs / std::max(1.0, avg_bibfs), 3),
                FormatDouble(static_cast<double>(skipped) / d.pairs.size(), 0),
@@ -103,8 +103,8 @@ void RunBitParallelAblation() {
                       "f.spd", "q.bp(ms)", "q.nobp(ms)", "spdup", "hit2(%)",
                       "prune/q", "size.BP"},
                      {12, 11, 12, 10, 7, 10, 11, 7, 8, 9, 10});
-  for (const auto& spec : SelectedDatasets()) {
-    const LoadedDataset d = LoadDataset(spec);
+  for (const auto& ref : SelectedBenchDatasets()) {
+    const LoadedDataset d = LoadDataset(ref);
     const Graph& g = d.graph;
 
     QbsOptions on;
@@ -148,7 +148,7 @@ void RunBitParallelAblation() {
         static_cast<double>(d.pairs.size());
     const double b_fused = qbs_on.timings().labeling_seconds;
     const double b_replay = qbs_replay.timings().labeling_seconds;
-    table.Row({spec.abbrev, FormatSeconds(b_fused), FormatSeconds(b_replay),
+    table.Row({d.spec.abbrev, FormatSeconds(b_fused), FormatSeconds(b_replay),
                FormatSeconds(qbs_off.timings().labeling_seconds),
                FormatDouble(b_fused > 0 ? b_replay / b_fused : 0.0, 2),
                FormatMs(q_on), FormatMs(q_off),
@@ -172,8 +172,8 @@ void RunFrontierAblation() {
                      {"Dataset", "td(ms)", "auto(ms)", "speedup",
                       "scan.td", "scan.auto", "bu.levels"},
                      {12, 9, 9, 8, 12, 12, 9});
-  for (const auto& spec : SelectedDatasets()) {
-    const LoadedDataset d = LoadDataset(spec);
+  for (const auto& ref : SelectedBenchDatasets()) {
+    const LoadedDataset d = LoadDataset(ref);
     const Graph& g = d.graph;
     std::vector<VertexId> sources(g.NumVertices());
     std::iota(sources.begin(), sources.end(), 0);
@@ -199,7 +199,7 @@ void RunFrontierAblation() {
       }
       ms[m] = timer.ElapsedMillis();
     }
-    table.Row({spec.abbrev, FormatMs(ms[0]), FormatMs(ms[1]),
+    table.Row({d.spec.abbrev, FormatMs(ms[0]), FormatMs(ms[1]),
                FormatDouble(ms[1] > 0 ? ms[0] / ms[1] : 0.0, 2),
                std::to_string(scans[0]), std::to_string(scans[1]),
                std::to_string(bu_levels)});

@@ -18,8 +18,8 @@ void Run() {
               EnvPairs());
   TablePrinter table("Figure 11", {"Dataset", "|R|", "query(ms)"},
                      {12, 5, 10});
-  for (const auto& spec : SelectedDatasets()) {
-    const LoadedDataset d = LoadDataset(spec);
+  for (const auto& ref : SelectedBenchDatasets()) {
+    const LoadedDataset d = LoadDataset(ref);
     for (uint32_t k : {5u, 10u, 15u, 20u, 40u, 60u, 80u, 100u}) {
       QbsOptions options;
       options.num_landmarks = k;
@@ -27,7 +27,7 @@ void Run() {
       QbsIndex index = QbsIndex::Build(d.graph, options);
       WallTimer timer;
       for (const auto& [u, v] : d.pairs) index.Query(u, v);
-      table.Row({spec.abbrev, std::to_string(k),
+      table.Row({d.spec.abbrev, std::to_string(k),
                  FormatMs(timer.ElapsedMillis() / d.pairs.size())});
     }
   }

@@ -24,10 +24,10 @@ void Run() {
   widths.push_back(6);
   TablePrinter table("Figure 7 (fraction of pairs per distance)", columns,
                      widths);
-  for (const auto& spec : SelectedDatasets()) {
-    const LoadedDataset d = LoadDataset(spec);
+  for (const auto& ref : SelectedBenchDatasets()) {
+    const LoadedDataset d = LoadDataset(ref);
     const auto dist = ComputeDistanceDistribution(d.graph, d.pairs);
-    std::vector<std::string> row{spec.abbrev};
+    std::vector<std::string> row{d.spec.abbrev};
     for (uint32_t x = 1; x <= kMaxDistanceColumn; ++x) {
       row.push_back(FormatDouble(dist.FractionAt(x), 3));
     }
@@ -44,4 +44,7 @@ void Run() {
 }  // namespace
 }  // namespace qbs::bench
 
-int main() { qbs::bench::Run(); }
+int main(int argc, char** argv) {
+  qbs::bench::InitBenchArgs(argc, argv);
+  qbs::bench::Run();
+}

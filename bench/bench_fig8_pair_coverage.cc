@@ -18,8 +18,8 @@ void Run() {
   TablePrinter table("Figure 8",
                      {"Dataset", "|R|", "all(i)", "some(ii)", "total"},
                      {12, 5, 8, 9, 8});
-  for (const auto& spec : SelectedDatasets()) {
-    const LoadedDataset d = LoadDataset(spec);
+  for (const auto& ref : SelectedBenchDatasets()) {
+    const LoadedDataset d = LoadDataset(ref);
     for (uint32_t k : {20u, 40u, 60u, 80u, 100u}) {
       QbsOptions options;
       options.num_landmarks = k;
@@ -48,7 +48,7 @@ void Run() {
         }
       }
       const double denom = connected == 0 ? 1.0 : connected;
-      table.Row({spec.abbrev, std::to_string(k),
+      table.Row({d.spec.abbrev, std::to_string(k),
                  FormatDouble(all / denom, 3), FormatDouble(some / denom, 3),
                  FormatDouble((all + some) / denom, 3)});
     }
@@ -59,4 +59,7 @@ void Run() {
 }  // namespace
 }  // namespace qbs::bench
 
-int main() { qbs::bench::Run(); }
+int main(int argc, char** argv) {
+  qbs::bench::InitBenchArgs(argc, argv);
+  qbs::bench::Run();
+}

@@ -16,15 +16,15 @@ void Run() {
       "Figure 9",
       {"Dataset", "|R|", "size(L)", "size(Delta)", "meta", "total"},
       {12, 5, 10, 12, 9, 10});
-  for (const auto& spec : SelectedDatasets()) {
-    const LoadedDataset d = LoadDataset(spec);
+  for (const auto& ref : SelectedBenchDatasets()) {
+    const LoadedDataset d = LoadDataset(ref);
     for (uint32_t k : {20u, 40u, 60u, 80u, 100u}) {
       QbsOptions options;
       options.num_landmarks = k;
       options.num_threads = EnvThreads();
       options.precompute_delta = true;
       QbsIndex index = QbsIndex::Build(d.graph, options);
-      table.Row({spec.abbrev, std::to_string(k),
+      table.Row({d.spec.abbrev, std::to_string(k),
                  HumanBytes(index.LabelingSizeBytes()),
                  HumanBytes(index.DeltaSizeBytes()),
                  HumanBytes(index.MetaGraphSizeBytes()),
@@ -39,4 +39,7 @@ void Run() {
 }  // namespace
 }  // namespace qbs::bench
 
-int main() { qbs::bench::Run(); }
+int main(int argc, char** argv) {
+  qbs::bench::InitBenchArgs(argc, argv);
+  qbs::bench::Run();
+}

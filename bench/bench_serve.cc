@@ -1,0 +1,138 @@
+// Serving-layer benchmark: stands up the `qbs serve` daemon in-process on
+// a loopback socket, drives it with the seeded Zipfian workload generator
+// (hot-pair skew + concurrent connections), and reports end-to-end client
+// latency percentiles, throughput, and hot-pair cache hit-rate per
+// dataset. The CSV echo is gated by scripts/bench_compare.py like every
+// other bench (the "(ms)" columns), so serving-path latency regressions
+// fail CI the same way index-path regressions do.
+//
+// Knobs (on top of the bench_common set): the workload is 8x the pair
+// budget in queries over a universe of EnvPairs() distinct pairs with
+// Zipf s = 0.99, driven over min(EnvThreads(), 8) connections, seed 42 —
+// all fixed so reruns are comparable.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/qbs_index.h"
+#include "server/client.h"
+#include "server/latency_histogram.h"
+#include "server/server.h"
+#include "util/timer.h"
+#include "workload/synthetic_workload.h"
+
+namespace qbs::bench {
+namespace {
+
+void Run() {
+  const size_t conns = std::min<size_t>(std::max<size_t>(EnvThreads(), 1), 8);
+  std::printf("qbs serve under seeded Zipfian load (%zu conns)\n", conns);
+  TablePrinter table(
+      "Serve (loopback, Zipf s=0.99)",
+      {"Dataset", "queries", "thrpt(q/s)", "p50(ms)", "p99(ms)", "p999(ms)",
+       "c.p99(ms)", "l.p99(ms)", "hit(%)", "busy"},
+      {12, 8, 11, 9, 9, 9, 10, 10, 7, 6});
+
+  for (const auto& ref : SelectedBenchDatasets()) {
+    const LoadedDataset d = LoadDataset(ref);
+
+    QbsOptions build_options;
+    build_options.num_landmarks = 20;
+    build_options.num_threads = EnvThreads();
+    QbsIndex index = QbsIndex::Build(d.graph, build_options);
+
+    server::ServerOptions server_options;
+    server_options.port = 0;  // ephemeral
+    server_options.max_inflight = EnvThreads();
+    server::QueryServer server(index, server_options);
+    std::string error;
+    if (!server.Start(&error)) {
+      std::fprintf(stderr, "bench_serve: %s\n", error.c_str());
+      continue;
+    }
+
+    WorkloadOptions workload;
+    workload.num_queries = EnvPairs() * 8;
+    workload.num_distinct_pairs = EnvPairs();
+    workload.zipf_s = 0.99;
+    workload.seed = 42;
+    const std::vector<TimedQuery> queries =
+        GenerateWorkload(d.graph, workload);
+
+    std::atomic<size_t> cursor{0};
+    std::atomic<uint64_t> ok{0};
+    std::atomic<uint64_t> busy{0};
+    server::LatencyHistogram latency;
+
+    WallTimer timer;
+    std::vector<std::thread> workers;
+    workers.reserve(conns);
+    for (size_t c = 0; c < conns; ++c) {
+      workers.emplace_back([&] {
+        server::QueryClient client;
+        if (!client.Connect("127.0.0.1", server.port())) return;
+        for (;;) {
+          const size_t i = cursor.fetch_add(1);
+          if (i >= queries.size()) break;
+          const auto t0 = std::chrono::steady_clock::now();
+          QueryResponse response;
+          for (;;) {
+            const auto status = client.Query(queries[i].request, &response);
+            if (status == server::QueryClient::RpcStatus::kBusy) {
+              busy.fetch_add(1);
+              std::this_thread::sleep_for(std::chrono::microseconds(200));
+              continue;
+            }
+            if (status == server::QueryClient::RpcStatus::kOk) {
+              ok.fetch_add(1);
+            } else {
+              return;  // transport gone; stop this worker
+            }
+            break;
+          }
+          latency.Record(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count()));
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    const double elapsed = timer.ElapsedSeconds();
+    server.Stop();
+
+    const auto stats = server.GetStats();
+    const auto snap = latency.GetSnapshot();
+    table.Row(
+        {d.spec.abbrev, std::to_string(ok.load()),
+         FormatDouble(elapsed > 0
+                          ? static_cast<double>(ok.load()) / elapsed
+                          : 0.0,
+                      0),
+         FormatMs(snap.QuantileMillis(0.50)),
+         FormatMs(snap.QuantileMillis(0.99)),
+         FormatMs(snap.QuantileMillis(0.999)),
+         stats.lat_cached.count > 0
+             ? FormatMs(stats.lat_cached.QuantileMillis(0.99))
+             : "-",
+         stats.lat_long.count > 0
+             ? FormatMs(stats.lat_long.QuantileMillis(0.99))
+             : "-",
+         FormatDouble(100.0 * stats.cache.HitRate(), 1),
+         std::to_string(busy.load())});
+  }
+  table.Footer();
+}
+
+}  // namespace
+}  // namespace qbs::bench
+
+int main(int argc, char** argv) {
+  qbs::bench::InitBenchArgs(argc, argv);
+  qbs::bench::Run();
+}

@@ -128,18 +128,18 @@ void Run() {
 
     // Parallel batch path: QueryBatch in batch_size chunks on the QbS-P
     // index (per-thread searcher pool + work-stealing ParallelFor).
-    std::vector<std::pair<VertexId, VertexId>> batch_pairs;
-    batch_pairs.reserve(d.pairs.size());
-    for (const auto& [u, v] : d.pairs) batch_pairs.emplace_back(u, v);
+    std::vector<QueryRequest> batch_requests;
+    batch_requests.reserve(d.pairs.size());
+    for (const auto& [u, v] : d.pairs) batch_requests.emplace_back(u, v);
     QbsIndex::BatchOptions batch_options;
     batch_options.num_threads = EnvThreads();
     batch_options.grain = EnvGrain();
     const size_t batch_size = EnvBatchSize();
     WallTimer qtimer;
-    for (size_t off = 0; off < batch_pairs.size(); off += batch_size) {
-      const size_t end = std::min(off + batch_size, batch_pairs.size());
-      const std::vector<std::pair<VertexId, VertexId>> chunk(
-          batch_pairs.begin() + off, batch_pairs.begin() + end);
+    for (size_t off = 0; off < batch_requests.size(); off += batch_size) {
+      const size_t end = std::min(off + batch_size, batch_requests.size());
+      const std::vector<QueryRequest> chunk(batch_requests.begin() + off,
+                                            batch_requests.begin() + end);
       qbsp.QueryBatch(chunk, batch_options);
     }
     const double q_batch = qtimer.ElapsedMillis() / d.pairs.size();

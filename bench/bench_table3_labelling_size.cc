@@ -19,8 +19,8 @@ void Run() {
                      {"Dataset", "QbS size(L)", "QbS size(Delta)", "PPL",
                       "ParentPPL", "|G|"},
                      {12, 12, 15, 12, 12, 10});
-  for (const auto& spec : SelectedDatasets()) {
-    const LoadedDataset d = LoadDataset(spec);
+  for (const auto& ref : SelectedBenchDatasets()) {
+    const LoadedDataset d = LoadDataset(ref);
     QbsOptions options;
     options.num_landmarks = 20;
     options.num_threads = EnvThreads();
@@ -36,7 +36,7 @@ void Run() {
     auto pppl = ParentPplIndex::Build(d.graph, budget, &pppl_status);
 
     table.Row(
-        {spec.abbrev, HumanBytes(index.LabelingSizeBytes()),
+        {d.spec.abbrev, HumanBytes(index.LabelingSizeBytes()),
          HumanBytes(index.DeltaSizeBytes()),
          ppl.has_value() ? HumanBytes(ppl->SizeBytes())
                          : (ppl_status == BuildStatus::kTimeBudgetExceeded
@@ -54,4 +54,7 @@ void Run() {
 }  // namespace
 }  // namespace qbs::bench
 
-int main() { qbs::bench::Run(); }
+int main(int argc, char** argv) {
+  qbs::bench::InitBenchArgs(argc, argv);
+  qbs::bench::Run();
+}

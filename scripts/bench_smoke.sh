@@ -9,4 +9,7 @@ export QBS_BENCH_PAIRS="${QBS_BENCH_PAIRS:-20}"
 export QBS_BENCH_DATASETS="${QBS_BENCH_DATASETS:-DO,DB}"
 
 "${build_dir}/bench/bench_table1_datasets"
+# Serving-path smoke: stands up the in-process daemon on a loopback socket
+# and drives it with the seeded Zipfian workload.
+QBS_BENCH_THREADS="${QBS_BENCH_THREADS:-2}" "${build_dir}/bench/bench_serve"
 echo "bench smoke: OK"

@@ -92,6 +92,40 @@ ShortestPathGraph QbsIndex::Query(VertexId u, VertexId v,
   return searcher_->Query(u, v, stats);
 }
 
+QueryResponse QbsIndex::Query(const QueryRequest& request) {
+  return Execute(*searcher_, request);
+}
+
+QueryResponse QbsIndex::Execute(GuidedSearcher& searcher,
+                                const QueryRequest& request) const {
+  QBS_CHECK_LT(request.u, g_->NumVertices());
+  QBS_CHECK_LT(request.v, g_->NumVertices());
+  QueryResponse response;
+  if (request.budget > 0 && request.u != request.v) {
+    // One O(|R|) label-row scan can certify d > budget before any search
+    // runs; the response then reports "unknown, provably beyond budget".
+    const LabelBound bound = ComputeLabelBound(
+        scheme_->labeling, scheme_->meta, request.u, request.v);
+    if (bound.lower > request.budget) {
+      response.spg.u = request.u;
+      response.spg.v = request.v;
+      response.flags |= kResponseFlagBudgetPruned;
+      return response;
+    }
+  }
+  response.spg = searcher.Query(request.u, request.v, &response.stats);
+  if (request.budget > 0 && response.spg.Connected() &&
+      response.spg.distance > request.budget) {
+    response.flags |= kResponseFlagBudgetExceeded;
+    response.spg.edges.clear();
+    response.spg.edges.shrink_to_fit();
+  } else if (request.mode == QueryMode::kDistance) {
+    response.spg.edges.clear();
+    response.spg.edges.shrink_to_fit();
+  }
+  return response;
+}
+
 QbsIndex::SearcherLease::SearcherLease(QbsIndex& index, size_t count)
     : index_(index) {
   searchers_.reserve(count);
@@ -134,12 +168,11 @@ size_t QbsIndex::BatchSearcherPoolSize() const {
   return batch_searchers_.size();
 }
 
-std::vector<ShortestPathGraph> QbsIndex::QueryBatch(
-    const std::vector<std::pair<VertexId, VertexId>>& pairs,
-    const BatchOptions& options) {
-  std::vector<ShortestPathGraph> results(pairs.size());
+std::vector<QueryResponse> QbsIndex::QueryBatch(
+    const std::vector<QueryRequest>& requests, const BatchOptions& options) {
+  std::vector<QueryResponse> results(requests.size());
   const size_t workers = std::min(EffectiveThreads(options.num_threads),
-                                  std::max<size_t>(pairs.size(), 1));
+                                  std::max<size_t>(requests.size(), 1));
   // One searcher per worker, checked out of the persistent pool (topped up
   // to `workers` if needed); all share the labelling, meta-graph, D cache,
   // and the materialized sparsified graph (read-only). The RAII lease
@@ -150,9 +183,27 @@ std::vector<ShortestPathGraph> QbsIndex::QueryBatch(
   ParallelForOptions pf;
   pf.num_threads = workers;
   pf.grain = options.grain;
-  ParallelFor(pairs.size(), pf, [&](size_t i, size_t worker) {
-    results[i] = lease[worker].Query(pairs[i].first, pairs[i].second);
+  ParallelFor(requests.size(), pf, [&](size_t i, size_t worker) {
+    results[i] = Execute(lease[worker], requests[i]);
   });
+  return results;
+}
+
+// The deprecated pair-based wrappers. Defined with the warning suppressed:
+// the definitions themselves must not trip -Werror builds.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+std::vector<ShortestPathGraph> QbsIndex::QueryBatch(
+    const std::vector<std::pair<VertexId, VertexId>>& pairs,
+    const BatchOptions& options) {
+  std::vector<QueryRequest> requests;
+  requests.reserve(pairs.size());
+  for (const auto& [u, v] : pairs) requests.emplace_back(u, v);
+  std::vector<QueryResponse> responses = QueryBatch(requests, options);
+  std::vector<ShortestPathGraph> results;
+  results.reserve(responses.size());
+  for (auto& r : responses) results.push_back(std::move(r.spg));
   return results;
 }
 
@@ -163,6 +214,8 @@ std::vector<ShortestPathGraph> QbsIndex::QueryBatch(
   options.num_threads = num_threads;
   return QueryBatch(pairs, options);
 }
+
+#pragma GCC diagnostic pop
 
 uint32_t QbsIndex::DistanceUpperBound(VertexId u, VertexId v) const {
   QBS_CHECK_LT(u, g_->NumVertices());

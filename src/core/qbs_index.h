@@ -27,6 +27,7 @@
 #include "core/labeling.h"
 #include "core/landmark_selection.h"
 #include "core/meta_graph.h"
+#include "core/query_api.h"
 #include "core/search_stats.h"
 #include "core/sketch.h"
 #include "graph/graph.h"
@@ -103,27 +104,51 @@ class QbsIndex {
   ShortestPathGraph Query(VertexId u, VertexId v,
                           SearchStats* stats = nullptr);
 
+  /// The unified query surface (core/query_api.h): answers one request —
+  /// mode, budget, and flags included — on the index's single searcher.
+  /// Same serialization caveat as the scalar Query().
+  QueryResponse Query(const QueryRequest& request);
+
   /// Tuning knobs for QueryBatch.
   struct BatchOptions {
     /// 0 = all hardware threads.
     size_t num_threads = 0;
     /// Queries handed to a worker per grab from the shared cursor (the
-    /// ParallelFor grain); 0 picks pairs/(threads*8). Smaller values
+    /// ParallelFor grain); 0 picks requests/(threads*8). Smaller values
     /// rebalance skewed query costs better.
     size_t grain = 0;
   };
 
-  /// Answers many queries in parallel. Workers share the index's read-only
-  /// state and the materialized sparsified graph, and draw searchers from a
-  /// persistent pool (grown on first use, reused across batches); results
-  /// align with `pairs`. Safe to call concurrently with other QueryBatch
-  /// calls on the same index (each call checks searchers out of the pool
-  /// under a lock), but not with the single-searcher Query().
+  /// Answers many requests in parallel — the canonical batch entry point.
+  /// Workers share the index's read-only state and the materialized
+  /// sparsified graph, and draw searchers from a persistent pool (grown on
+  /// first use, reused across batches); results align with `requests`.
+  /// Safe to call concurrently with other QueryBatch calls on the same
+  /// index (each call checks searchers out of the pool under a lock), but
+  /// not with the single-searcher Query().
+  std::vector<QueryResponse> QueryBatch(
+      const std::vector<QueryRequest>& requests,
+      const BatchOptions& options);
+  std::vector<QueryResponse> QueryBatch(
+      const std::vector<QueryRequest>& requests) {
+    return QueryBatch(requests, BatchOptions());
+  }
+
+  /// Executes one request on a caller-managed searcher (e.g. one held via
+  /// SearcherLease by a server connection). Thread-safe as long as each
+  /// searcher is used by one thread at a time; this is the primitive both
+  /// QueryBatch and the `qbs serve` daemon are built on.
+  QueryResponse Execute(GuidedSearcher& searcher,
+                        const QueryRequest& request) const;
+
+  /// Deprecated pair-based batch forms, kept as thin wrappers over the
+  /// QueryRequest vector form (mode = kSpg, no budget).
+  [[deprecated("use QueryBatch(std::vector<QueryRequest>, BatchOptions)")]]
   std::vector<ShortestPathGraph> QueryBatch(
       const std::vector<std::pair<VertexId, VertexId>>& pairs,
       const BatchOptions& options);
 
-  /// Back-compat convenience: QueryBatch with the default grain.
+  [[deprecated("use QueryBatch(std::vector<QueryRequest>, BatchOptions)")]]
   std::vector<ShortestPathGraph> QueryBatch(
       const std::vector<std::pair<VertexId, VertexId>>& pairs,
       size_t num_threads = 0);
@@ -165,6 +190,10 @@ class QbsIndex {
   uint64_t BpMaskSizeBytes() const {
     return scheme_->labeling.BpSizeBytes();
   }
+
+  /// The graph the index was built on (read-only; useful for request
+  /// validation in serving layers).
+  const Graph& graph() const { return *g_; }
 
   /// The landmark set R, in label-index order.
   const std::vector<VertexId>& landmarks() const {

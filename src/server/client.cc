@@ -1,0 +1,181 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace qbs::server {
+namespace {
+
+bool WriteAll(int fd, const uint8_t* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+QueryClient::~QueryClient() { Close(); }
+
+QueryClient::QueryClient(QueryClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      reader_(std::move(other.reader_)),
+      retry_after_ms_(other.retry_after_ms_),
+      last_error_(std::move(other.last_error_)) {}
+
+QueryClient& QueryClient::operator=(QueryClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    reader_ = std::move(other.reader_);
+    retry_after_ms_ = other.retry_after_ms_;
+    last_error_ = std::move(other.last_error_);
+  }
+  return *this;
+}
+
+bool QueryClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    last_error_ = std::string("socket: ") + strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    last_error_ = "bad address: " + host;
+    ::close(fd);
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    last_error_ = std::string("connect: ") + strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  reader_ = FrameReader();  // fresh framing state for the new stream
+  return true;
+}
+
+void QueryClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool QueryClient::SendFrame(FrameType type, std::span<const uint8_t> payload) {
+  std::vector<uint8_t> frame;
+  AppendFrame(&frame, type, payload);
+  if (!WriteAll(fd_, frame.data(), frame.size())) {
+    last_error_ = std::string("send: ") + strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool QueryClient::ReadFrame(Frame* reply) {
+  uint8_t buf[64 * 1024];
+  for (;;) {
+    switch (reader_.Next(reply)) {
+      case FrameReader::Status::kFrame:
+        return true;
+      case FrameReader::Status::kBad:
+        last_error_ = "protocol error from server: " + reader_.error();
+        return false;
+      case FrameReader::Status::kNeedMore:
+        break;
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      last_error_ = n == 0 ? "connection closed by server"
+                           : std::string("recv: ") + strerror(errno);
+      return false;
+    }
+    reader_.Feed(std::span<const uint8_t>(buf, static_cast<size_t>(n)));
+  }
+}
+
+bool QueryClient::RoundTrip(FrameType type, std::span<const uint8_t> payload,
+                            Frame* reply) {
+  if (fd_ < 0) {
+    last_error_ = "not connected";
+    return false;
+  }
+  if (!SendFrame(type, payload) || !ReadFrame(reply)) {
+    Close();
+    return false;
+  }
+  return true;
+}
+
+QueryClient::RpcStatus QueryClient::Query(const QueryRequest& request,
+                                          QueryResponse* response) {
+  Frame reply;
+  if (!RoundTrip(FrameType::kQueryRequest, EncodeQueryRequest(request),
+                 &reply)) {
+    return RpcStatus::kTransportError;
+  }
+  switch (reply.type) {
+    case FrameType::kQueryResponse:
+      if (!DecodeQueryResponse(reply.payload, response)) {
+        last_error_ = "undecodable query response";
+        Close();
+        return RpcStatus::kTransportError;
+      }
+      return RpcStatus::kOk;
+    case FrameType::kBusy: {
+      uint32_t hint = 0;
+      if (DecodeBusy(reply.payload, &hint)) retry_after_ms_ = hint;
+      return RpcStatus::kBusy;
+    }
+    case FrameType::kError: {
+      ErrorCode code = ErrorCode::kInternal;
+      std::string message;
+      if (DecodeError(reply.payload, &code, &message)) {
+        last_error_ = message;
+      } else {
+        last_error_ = "undecodable error frame";
+      }
+      return RpcStatus::kRemoteError;
+    }
+    default:
+      last_error_ = "unexpected reply frame type " +
+                    std::to_string(static_cast<unsigned>(reply.type));
+      Close();
+      return RpcStatus::kTransportError;
+  }
+}
+
+bool QueryClient::Ping() {
+  Frame reply;
+  return RoundTrip(FrameType::kPing, {}, &reply) &&
+         reply.type == FrameType::kPong;
+}
+
+bool QueryClient::Shutdown() {
+  Frame reply;
+  return RoundTrip(FrameType::kShutdown, {}, &reply) &&
+         reply.type == FrameType::kShutdownAck;
+}
+
+}  // namespace qbs::server

@@ -1,0 +1,71 @@
+// Blocking client for the `qbs serve` protocol: one TCP connection, one
+// outstanding request at a time. Used by the `qbs load` driver, the CLI's
+// remote query path, bench_serve workers, and the server tests.
+
+#ifndef QBS_SERVER_CLIENT_H_
+#define QBS_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/query_api.h"
+#include "server/protocol.h"
+
+namespace qbs::server {
+
+class QueryClient {
+ public:
+  enum class RpcStatus {
+    kOk,         // *response filled
+    kBusy,       // admission pushback; retry_after_ms() hints when
+    kRemoteError,     // server answered kError; last_error() has the text
+    kTransportError,  // connection broken / protocol violation; client dead
+  };
+
+  QueryClient() = default;
+  ~QueryClient();
+  QueryClient(QueryClient&& other) noexcept;
+  QueryClient& operator=(QueryClient&& other) noexcept;
+  QueryClient(const QueryClient&) = delete;
+  QueryClient& operator=(const QueryClient&) = delete;
+
+  /// Connects to host:port; returns false (filling last_error()) on
+  /// failure. Reconnecting an already-connected client closes the old
+  /// connection first.
+  bool Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request and blocks for its reply.
+  RpcStatus Query(const QueryRequest& request, QueryResponse* response);
+
+  /// Round-trips a kPing.
+  bool Ping();
+
+  /// Asks the server to shut down; true iff the kShutdownAck arrived.
+  bool Shutdown();
+
+  void Close();
+
+  /// Hint from the last kBusy reply (milliseconds).
+  uint32_t retry_after_ms() const { return retry_after_ms_; }
+  const std::string& last_error() const { return last_error_; }
+
+ private:
+  /// Sends one frame and blocks for the next frame from the server.
+  /// Returns false on transport failure (and closes the connection —
+  /// framing can't be trusted afterwards).
+  bool RoundTrip(FrameType type, std::span<const uint8_t> payload,
+                 Frame* reply);
+  bool SendFrame(FrameType type, std::span<const uint8_t> payload);
+  bool ReadFrame(Frame* reply);
+
+  int fd_ = -1;
+  FrameReader reader_;
+  uint32_t retry_after_ms_ = 0;
+  std::string last_error_;
+};
+
+}  // namespace qbs::server
+
+#endif  // QBS_SERVER_CLIENT_H_

@@ -1,0 +1,82 @@
+// Lock-free log-bucketed latency histogram for the serving hot path.
+//
+// Record() is two relaxed atomic increments — safe from any number of
+// connection threads with no mutex on the query path. Buckets are
+// half-open powers of two in nanoseconds (bucket i covers [2^i, 2^(i+1))
+// ns, bucket 0 covers [0, 2) ns), so percentile estimates carry at most
+// one octave of quantization — plenty for p50/p99/p999 on latencies that
+// span micro- to milliseconds.
+
+#ifndef QBS_SERVER_LATENCY_HISTOGRAM_H_
+#define QBS_SERVER_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace qbs::server {
+
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Record(uint64_t nanos) {
+    const size_t bucket =
+        nanos == 0 ? 0 : static_cast<size_t>(std::bit_width(nanos) - 1);
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    total_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+
+  /// A consistent-enough copy for reporting (concurrent Records may or may
+  /// not be included; never torn per bucket).
+  struct Snapshot {
+    std::array<uint64_t, kBuckets> buckets{};
+    uint64_t count = 0;
+    uint64_t total_nanos = 0;
+
+    /// Upper edge (ns) of the bucket holding the q-quantile sample
+    /// (q in [0, 1]); 0 when empty.
+    uint64_t QuantileNanos(double q) const {
+      if (count == 0) return 0;
+      const uint64_t rank = static_cast<uint64_t>(
+          q * static_cast<double>(count - 1));
+      uint64_t seen = 0;
+      for (size_t i = 0; i < kBuckets; ++i) {
+        seen += buckets[i];
+        if (seen > rank) {
+          return i + 1 >= 64 ? UINT64_MAX : (uint64_t{1} << (i + 1)) - 1;
+        }
+      }
+      return UINT64_MAX;
+    }
+
+    double QuantileMillis(double q) const {
+      return static_cast<double>(QuantileNanos(q)) / 1e6;
+    }
+
+    double MeanMillis() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(total_nanos) /
+                              static_cast<double>(count) / 1e6;
+    }
+  };
+
+  Snapshot GetSnapshot() const {
+    Snapshot snap;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+      snap.count += snap.buckets[i];
+    }
+    snap.total_nanos = total_nanos_.load(std::memory_order_relaxed);
+    return snap;
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> total_nanos_{0};
+};
+
+}  // namespace qbs::server
+
+#endif  // QBS_SERVER_LATENCY_HISTOGRAM_H_

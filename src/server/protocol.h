@@ -1,0 +1,132 @@
+// The `qbs serve` wire protocol: length-prefixed binary frames carrying
+// the unified QueryRequest/QueryResponse structs (core/query_api.h).
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//        0     4  magic     "QBSP" (0x50534251 as a LE u32)
+//        4     1  version   kProtocolVersion
+//        5     1  type      FrameType
+//        6     2  reserved  must be 0
+//        8     4  length    payload bytes that follow the 12-byte header
+//
+// The decoder is defensive by construction: frames are parsed from an
+// untrusted byte stream, so a bad magic/version/type, a nonzero reserved
+// field, or a length beyond the caller's cap surfaces as kBad — never a
+// crash, never unbounded buffering. Truncated input is simply kNeedMore
+// until the peer delivers the rest (or closes the connection).
+//
+// Payload codecs are pure functions over byte vectors, so the whole
+// protocol is unit-testable without a socket in sight.
+
+#ifndef QBS_SERVER_PROTOCOL_H_
+#define QBS_SERVER_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/query_api.h"
+
+namespace qbs::server {
+
+inline constexpr uint32_t kProtocolMagic = 0x50534251u;  // "QBSP"
+inline constexpr uint8_t kProtocolVersion = 1;
+/// Frame header bytes before the payload.
+inline constexpr size_t kFrameHeaderBytes = 12;
+/// Hard ceiling a FrameReader will ever accept, regardless of its
+/// configured cap (a response SPG on a huge graph is the largest payload).
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+/// Default cap for server-side request parsing: requests are tiny, so
+/// anything large is garbage or abuse.
+inline constexpr uint32_t kMaxRequestPayload = 1u << 20;
+
+enum class FrameType : uint8_t {
+  kQueryRequest = 1,
+  kQueryResponse = 2,
+  kError = 3,
+  /// Admission control pushed back: the request was NOT executed; retry
+  /// later. Payload: u32 advisory retry-after hint in milliseconds.
+  kBusy = 4,
+  kPing = 5,
+  kPong = 6,
+  /// Ask the daemon to shut down cleanly (answered with kShutdownAck
+  /// before the server stops accepting).
+  kShutdown = 7,
+  kShutdownAck = 8,
+};
+
+/// Error payload codes.
+enum class ErrorCode : uint32_t {
+  kBadRequest = 1,       // undecodable or malformed request payload
+  kVertexOutOfRange = 2, // u or v >= |V|
+  kInternal = 3,
+  kShuttingDown = 4,
+};
+
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::vector<uint8_t> payload;
+};
+
+/// Appends one complete frame (header + payload) to `out`.
+void AppendFrame(std::vector<uint8_t>* out, FrameType type,
+                 std::span<const uint8_t> payload);
+
+/// Incremental frame decoder over an untrusted byte stream.
+class FrameReader {
+ public:
+  enum class Status {
+    kFrame,     // *frame was filled with one complete frame
+    kNeedMore,  // no complete frame buffered yet
+    kBad,       // stream is corrupt; error() says why. Unrecoverable:
+                // framing is lost, the connection should be closed.
+  };
+
+  /// `max_payload` caps accepted frame lengths (clamped to
+  /// kMaxFramePayload).
+  explicit FrameReader(uint32_t max_payload = kMaxFramePayload);
+
+  /// Feeds raw bytes from the stream.
+  void Feed(std::span<const uint8_t> data);
+
+  /// Extracts the next complete frame, if any. Once kBad is returned every
+  /// subsequent call returns kBad.
+  Status Next(Frame* frame);
+
+  const std::string& error() const { return error_; }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  size_t consumed_ = 0;  // bytes of buffer_ already handed out
+  uint32_t max_payload_;
+  bool bad_ = false;
+  std::string error_;
+};
+
+// ---- Payload codecs -------------------------------------------------------
+// Every Decode* returns false (leaving *out unspecified) on a payload of
+// the wrong size or with out-of-range enum values; they never read past
+// the span.
+
+std::vector<uint8_t> EncodeQueryRequest(const QueryRequest& request);
+bool DecodeQueryRequest(std::span<const uint8_t> payload, QueryRequest* out);
+
+/// The response payload carries the deterministic answer (u, v, distance,
+/// flags, edges), the cache-hit bit, and the total-edge-scan diagnostic.
+std::vector<uint8_t> EncodeQueryResponse(const QueryResponse& response);
+bool DecodeQueryResponse(std::span<const uint8_t> payload,
+                         QueryResponse* out);
+
+std::vector<uint8_t> EncodeError(ErrorCode code, const std::string& message);
+bool DecodeError(std::span<const uint8_t> payload, ErrorCode* code,
+                 std::string* message);
+
+std::vector<uint8_t> EncodeBusy(uint32_t retry_after_ms);
+bool DecodeBusy(std::span<const uint8_t> payload, uint32_t* retry_after_ms);
+
+}  // namespace qbs::server
+
+#endif  // QBS_SERVER_PROTOCOL_H_

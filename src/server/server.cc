@@ -1,0 +1,386 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace qbs::server {
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Writes all of `data` to `fd`, riding out EINTR and short writes.
+bool WriteAll(int fd, const uint8_t* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---- AdmissionGate --------------------------------------------------------
+
+AdmissionGate::AdmissionGate(size_t max_inflight, size_t max_queue)
+    : max_inflight_(max_inflight == 0 ? 1 : max_inflight),
+      max_queue_(max_queue) {}
+
+AdmissionGate::Ticket AdmissionGate::Acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) return Ticket::kShutdown;
+  if (inflight_ < max_inflight_) {
+    ++inflight_;
+    return Ticket::kAdmitted;
+  }
+  if (waiters_ >= max_queue_) {
+    ++rejected_;
+    return Ticket::kRejected;
+  }
+  ++waiters_;
+  cv_.wait(lock, [&] { return shutdown_ || inflight_ < max_inflight_; });
+  --waiters_;
+  if (shutdown_) return Ticket::kShutdown;
+  ++inflight_;
+  return Ticket::kAdmitted;
+}
+
+void AdmissionGate::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+  }
+  cv_.notify_one();
+}
+
+void AdmissionGate::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t AdmissionGate::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+uint64_t AdmissionGate::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+// ---- QueryServer ----------------------------------------------------------
+
+QueryServer::QueryServer(QbsIndex& index, const ServerOptions& options)
+    : index_(index),
+      options_(options),
+      num_vertices_(index.graph().NumVertices()),
+      cache_({.capacity_bytes = options.cache_bytes,
+              .shards = options.cache_shards}),
+      gate_(options.max_inflight == 0
+                ? std::max<size_t>(std::thread::hardware_concurrency(), 1)
+                : options.max_inflight,
+            options.max_queue) {}
+
+QueryServer::~QueryServer() { Stop(); }
+
+bool QueryServer::Start(std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad listen address: " + options_.host;
+    ::close(fd);
+    return false;
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error != nullptr) *error = std::string("bind: ") + strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 128) != 0) {
+    if (error != nullptr) *error = std::string("listen: ") + strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    if (error != nullptr) {
+      *error = std::string("getsockname: ") + strerror(errno);
+    }
+    ::close(fd);
+    return false;
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void QueryServer::RequestStop() {
+  bool first = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stop_requested_) {
+      stop_requested_ = true;
+      first = true;
+    }
+  }
+  if (!first) return;
+  stopping_.store(true, std::memory_order_release);
+  stop_cv_.notify_all();
+  gate_.Shutdown();
+  // Wake the accept loop (shutdown on a listening socket unblocks accept()
+  // on Linux) and every blocked connection recv.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+}
+
+void QueryServer::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  stop_cv_.wait(lock, [&] { return stop_requested_; });
+}
+
+bool QueryServer::WaitFor(uint32_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stop_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                           [&] { return stop_requested_; });
+}
+
+void QueryServer::Stop() {
+  RequestStop();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Connection threads are detached; wait for them to drain after their
+    // sockets were shut down in RequestStop().
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait(lock, [&] { return active_connections_ == 0; });
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void QueryServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (or unrecoverable) — stop accepting
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (conn_fds_.size() < options_.max_connections) {
+        conn_fds_.insert(fd);
+        ++active_connections_;
+        admitted = true;
+      }
+    }
+    if (!admitted) {
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::thread([this, fd] { HandleConnection(fd); }).detach();
+  }
+}
+
+void QueryServer::HandleConnection(int fd) {
+  FrameReader reader(options_.max_request_payload);
+  uint8_t buf[64 * 1024];
+  bool open = true;
+  while (open && !stopping_.load(std::memory_order_acquire)) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // peer closed or socket shut down
+    reader.Feed(std::span<const uint8_t>(buf, static_cast<size_t>(n)));
+    Frame frame;
+    for (;;) {
+      const FrameReader::Status status = reader.Next(&frame);
+      if (status == FrameReader::Status::kNeedMore) break;
+      if (status == FrameReader::Status::kBad) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        const std::vector<uint8_t> payload =
+            EncodeError(ErrorCode::kBadRequest, reader.error());
+        SendFrame(fd, FrameType::kError, payload);
+        open = false;
+        break;
+      }
+      if (!HandleFrame(fd, frame)) {
+        open = false;
+        break;
+      }
+    }
+  }
+  ::close(fd);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conn_fds_.erase(fd);
+    --active_connections_;
+  }
+  drain_cv_.notify_all();
+}
+
+bool QueryServer::HandleFrame(int fd, const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kPing:
+      return SendFrame(fd, FrameType::kPong, {});
+    case FrameType::kShutdown: {
+      if (!options_.allow_remote_shutdown) {
+        bad_requests_.fetch_add(1, std::memory_order_relaxed);
+        const std::vector<uint8_t> payload = EncodeError(
+            ErrorCode::kBadRequest, "remote shutdown not permitted");
+        return SendFrame(fd, FrameType::kError, payload);
+      }
+      SendFrame(fd, FrameType::kShutdownAck, {});
+      RequestStop();
+      return false;
+    }
+    case FrameType::kQueryRequest: {
+      QueryRequest request;
+      if (!DecodeQueryRequest(frame.payload, &request)) {
+        bad_requests_.fetch_add(1, std::memory_order_relaxed);
+        const std::vector<uint8_t> payload =
+            EncodeError(ErrorCode::kBadRequest, "malformed query payload");
+        return SendFrame(fd, FrameType::kError, payload);
+      }
+      if (request.u >= num_vertices_ || request.v >= num_vertices_) {
+        bad_requests_.fetch_add(1, std::memory_order_relaxed);
+        const std::vector<uint8_t> payload = EncodeError(
+            ErrorCode::kVertexOutOfRange,
+            "vertex id out of range (|V| = " +
+                std::to_string(num_vertices_) + ")");
+        return SendFrame(fd, FrameType::kError, payload);
+      }
+      return ServeQuery(fd, request);
+    }
+    default: {
+      // A structurally valid frame the server has no business receiving
+      // (e.g. a kQueryResponse). Answer with an error but keep the
+      // connection: framing is intact.
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      const std::vector<uint8_t> payload = EncodeError(
+          ErrorCode::kBadRequest,
+          "unexpected frame type " +
+              std::to_string(static_cast<unsigned>(frame.type)));
+      return SendFrame(fd, FrameType::kError, payload);
+    }
+  }
+}
+
+bool QueryServer::ServeQuery(int fd, const QueryRequest& request) {
+  switch (gate_.Acquire()) {
+    case AdmissionGate::Ticket::kRejected: {
+      busy_rejections_.fetch_add(1, std::memory_order_relaxed);
+      const std::vector<uint8_t> payload = EncodeBusy(options_.busy_retry_ms);
+      return SendFrame(fd, FrameType::kBusy, payload);
+    }
+    case AdmissionGate::Ticket::kShutdown: {
+      const std::vector<uint8_t> payload =
+          EncodeError(ErrorCode::kShuttingDown, "server shutting down");
+      SendFrame(fd, FrameType::kError, payload);
+      return false;
+    }
+    case AdmissionGate::Ticket::kAdmitted:
+      break;
+  }
+
+  const uint64_t start = NowNanos();
+  QueryResponse response;
+  bool cache_hit = false;
+  const bool cacheable = options_.cache_bytes > 0 &&
+                         (request.flags & kQueryFlagNoCache) == 0;
+  if (cacheable) cache_hit = cache_.Lookup(request, &response);
+  if (!cache_hit) {
+    {
+      QbsIndex::SearcherLease lease(index_, 1);
+      response = index_.Execute(lease[0], request);
+    }
+    if (cacheable) cache_.Insert(request, response);
+  }
+  gate_.Release();
+  queries_.fetch_add(1, std::memory_order_relaxed);
+
+  const uint64_t elapsed = NowNanos() - start;
+  if (cache_hit) {
+    lat_cached_.Record(elapsed);
+  } else if (response.stats.label_short_circuits > 0 ||
+             response.stats.TotalEdgesScanned() == 0) {
+    lat_short_.Record(elapsed);  // answered from labels / pruned, no scan
+  } else {
+    lat_long_.Record(elapsed);  // a real guided search ran
+  }
+
+  const std::vector<uint8_t> payload = EncodeQueryResponse(response);
+  return SendFrame(fd, FrameType::kQueryResponse, payload);
+}
+
+bool QueryServer::SendFrame(int fd, FrameType type,
+                            std::span<const uint8_t> payload) {
+  std::vector<uint8_t> frame;
+  AppendFrame(&frame, type, payload);
+  return WriteAll(fd, frame.data(), frame.size());
+}
+
+QueryServer::StatsSnapshot QueryServer::GetStats() const {
+  StatsSnapshot snap;
+  snap.queries = queries_.load(std::memory_order_relaxed);
+  snap.busy_rejections = busy_rejections_.load(std::memory_order_relaxed);
+  snap.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  snap.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  snap.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  snap.connections_rejected =
+      connections_rejected_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.active_connections = active_connections_;
+  }
+  snap.cache = cache_.GetStats();
+  snap.lat_cached = lat_cached_.GetSnapshot();
+  snap.lat_short = lat_short_.GetSnapshot();
+  snap.lat_long = lat_long_.GetSnapshot();
+  return snap;
+}
+
+}  // namespace qbs::server

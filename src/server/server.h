@@ -1,0 +1,191 @@
+// `qbs serve` — the long-lived query daemon. Loads a QbsIndex once and
+// serves concurrent QueryRequest frames (server/protocol.h) over TCP,
+// thread-per-connection, with three serving-layer guarantees:
+//
+//   * Hot-pair caching — every cacheable request consults the sharded LRU
+//     ResultCache before touching a searcher; hits replay the payload
+//     bit-identically with the cache_hit bit set.
+//   * Admission control — at most max_inflight queries execute at once
+//     (bounding the SearcherLease pool and memory), at most max_queue more
+//     wait; beyond that the daemon answers kBusy immediately instead of
+//     building an unbounded backlog (backpressure, not collapse).
+//   * Observability — per-class latency histograms (cache hits; label
+//     short-circuits, the d <= 2 class; long guided searches) expose
+//     p50/p99/p999 split by the work a query actually did.
+//
+// Shutdown is cooperative and clean: a kShutdown frame (when permitted) or
+// RequestStop() stops the accept loop, wakes admission waiters, shuts down
+// every connection socket, and Stop() joins/waits until the last
+// connection thread exits — no leaked threads, sockets, or searchers
+// (ASan/TSan-clean by test).
+
+#ifndef QBS_SERVER_SERVER_H_
+#define QBS_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "core/qbs_index.h"
+#include "server/latency_histogram.h"
+#include "server/protocol.h"
+#include "server/result_cache.h"
+
+namespace qbs::server {
+
+/// Bounded-concurrency admission: Acquire() either admits immediately,
+/// waits (if the bounded wait queue has room), or rejects. Exposed
+/// separately from the server so backpressure semantics are unit-testable
+/// without sockets.
+class AdmissionGate {
+ public:
+  enum class Ticket {
+    kAdmitted,  // caller may run; must Release() exactly once
+    kRejected,  // queue full — answer kBusy, do NOT Release()
+    kShutdown,  // gate shut down while waiting — do NOT Release()
+  };
+
+  /// `max_inflight` concurrent admissions (>= 1 enforced); up to
+  /// `max_queue` further callers block in FIFO-wakeup order.
+  AdmissionGate(size_t max_inflight, size_t max_queue);
+
+  Ticket Acquire();
+  void Release();
+  /// Wakes every waiter with kShutdown; subsequent Acquires return
+  /// kShutdown immediately.
+  void Shutdown();
+
+  size_t inflight() const;
+  uint64_t rejected() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  const size_t max_inflight_;
+  const size_t max_queue_;
+  size_t inflight_ = 0;
+  size_t waiters_ = 0;
+  uint64_t rejected_ = 0;
+  bool shutdown_ = false;
+};
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral (read the bound port back via port()).
+  uint16_t port = 0;
+  /// Concurrent executing queries; 0 = hardware concurrency. Also bounds
+  /// the searcher pool growth attributable to serving.
+  size_t max_inflight = 0;
+  /// Admission waiters beyond max_inflight before kBusy.
+  size_t max_queue = 64;
+  /// Concurrent connections; extras are accepted and closed immediately.
+  size_t max_connections = 256;
+  /// Hot-pair result cache budget; 0 disables caching entirely.
+  size_t cache_bytes = 64u << 20;
+  size_t cache_shards = 16;
+  /// Advisory retry hint carried in kBusy responses.
+  uint32_t busy_retry_ms = 50;
+  /// Honor kShutdown frames from clients (on for tests/CI smoke; off for
+  /// anything resembling production).
+  bool allow_remote_shutdown = true;
+  /// Per-frame payload cap for request parsing.
+  uint32_t max_request_payload = kMaxRequestPayload;
+};
+
+class QueryServer {
+ public:
+  /// The index (and the graph it was built on) must outlive the server.
+  QueryServer(QbsIndex& index, const ServerOptions& options);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Binds, listens, and starts the accept loop. Returns false (filling
+  /// *error) on socket/bind failures.
+  bool Start(std::string* error = nullptr);
+
+  /// The bound port (valid after Start()).
+  uint16_t port() const { return port_; }
+
+  /// Asks the server to stop: no new connections, admission waiters woken,
+  /// existing connection sockets shut down. Does not join — call Stop().
+  void RequestStop();
+
+  /// Blocks until a stop is requested (RequestStop or a remote kShutdown);
+  /// returns immediately if already requested.
+  void Wait();
+  /// As Wait() with a timeout; returns true iff a stop was requested.
+  bool WaitFor(uint32_t timeout_ms);
+
+  /// RequestStop() + join the accept loop and every connection thread.
+  /// Idempotent; the destructor calls it.
+  void Stop();
+
+  struct StatsSnapshot {
+    uint64_t queries = 0;            // executed or cache-answered
+    uint64_t busy_rejections = 0;    // kBusy answers (admission)
+    uint64_t bad_requests = 0;       // decode/validation errors answered
+    uint64_t protocol_errors = 0;    // corrupt streams (connection dropped)
+    uint64_t connections_accepted = 0;
+    uint64_t connections_rejected = 0;  // over max_connections
+    size_t active_connections = 0;
+    ResultCache::Stats cache;
+    LatencyHistogram::Snapshot lat_cached;  // served from the result cache
+    LatencyHistogram::Snapshot lat_short;   // label short-circuit / no-scan
+    LatencyHistogram::Snapshot lat_long;    // guided searches
+  };
+  StatsSnapshot GetStats() const;
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  /// Handles one decoded frame; returns false when the connection should
+  /// close (shutdown, write failure).
+  bool HandleFrame(int fd, const Frame& frame);
+  /// Executes (or cache-answers) one admitted query and sends the
+  /// response; records latency in the matching class histogram.
+  bool ServeQuery(int fd, const QueryRequest& request);
+  bool SendFrame(int fd, FrameType type, std::span<const uint8_t> payload);
+
+  QbsIndex& index_;
+  const ServerOptions options_;
+  const VertexId num_vertices_;
+  ResultCache cache_;
+  AdmissionGate gate_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  // Stop/Wait handshake + connection bookkeeping. Connection threads are
+  // detached; Stop() waits for active_connections_ to drain after shutting
+  // their sockets down, which gives join semantics without a growing
+  // vector of joinable handles on a long-lived daemon.
+  mutable std::mutex mu_;
+  std::condition_variable stop_cv_;
+  std::condition_variable drain_cv_;
+  bool stop_requested_ = false;
+  std::unordered_set<int> conn_fds_;
+  size_t active_connections_ = 0;
+
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> busy_rejections_{0};
+  std::atomic<uint64_t> bad_requests_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_rejected_{0};
+  LatencyHistogram lat_cached_;
+  LatencyHistogram lat_short_;
+  LatencyHistogram lat_long_;
+};
+
+}  // namespace qbs::server
+
+#endif  // QBS_SERVER_SERVER_H_

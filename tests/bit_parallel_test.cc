@@ -320,21 +320,23 @@ TEST(BitParallelTest, QueryBatchAgreesWithSerialQueries) {
   QbsOptions options;
   options.num_landmarks = 16;
   QbsIndex index = QbsIndex::Build(g, options);
-  std::vector<std::pair<VertexId, VertexId>> pairs;
+  std::vector<QueryRequest> requests;
   for (const auto& [u, v] : SampleQueryPairs(g, 200, 31)) {
-    pairs.emplace_back(u, v);
+    requests.emplace_back(u, v);
   }
   // Mix in known-close pairs so the batch exercises the short circuit.
   for (VertexId u = 0; u < 20; ++u) {
     for (VertexId w : g.Neighbors(u)) {
-      pairs.emplace_back(u, w);
+      requests.emplace_back(u, w);
       break;
     }
   }
-  const auto batch = index.QueryBatch(pairs, /*num_threads=*/4);
-  ASSERT_EQ(batch.size(), pairs.size());
-  for (size_t i = 0; i < pairs.size(); ++i) {
-    ASSERT_EQ(batch[i], index.Query(pairs[i].first, pairs[i].second))
+  QbsIndex::BatchOptions four;
+  four.num_threads = 4;
+  const auto batch = index.QueryBatch(requests, four);
+  ASSERT_EQ(batch.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_EQ(batch[i].spg, index.Query(requests[i].u, requests[i].v))
         << "pair " << i;
   }
 }

@@ -10,12 +10,18 @@
 namespace qbs {
 namespace {
 
-std::vector<std::pair<VertexId, VertexId>> ToPairs(
-    const std::vector<QueryPair>& pairs) {
-  std::vector<std::pair<VertexId, VertexId>> out;
+std::vector<QueryRequest> ToRequests(const std::vector<QueryPair>& pairs,
+                                     QueryMode mode = QueryMode::kSpg) {
+  std::vector<QueryRequest> out;
   out.reserve(pairs.size());
-  for (const auto& p : pairs) out.emplace_back(p.u, p.v);
+  for (const auto& p : pairs) out.emplace_back(p.u, p.v, mode);
   return out;
+}
+
+QbsIndex::BatchOptions Threads(size_t n) {
+  QbsIndex::BatchOptions options;
+  options.num_threads = n;
+  return options;
 }
 
 TEST(QueryBatchTest, MatchesSequentialQueries) {
@@ -23,11 +29,11 @@ TEST(QueryBatchTest, MatchesSequentialQueries) {
   QbsOptions options;
   options.num_landmarks = 12;
   QbsIndex index = QbsIndex::Build(g, options);
-  const auto pairs = ToPairs(SampleQueryPairs(g, 300, 5));
-  const auto batch = index.QueryBatch(pairs, 8);
-  ASSERT_EQ(batch.size(), pairs.size());
-  for (size_t i = 0; i < pairs.size(); ++i) {
-    ASSERT_EQ(batch[i], index.Query(pairs[i].first, pairs[i].second))
+  const auto requests = ToRequests(SampleQueryPairs(g, 300, 5));
+  const auto batch = index.QueryBatch(requests, Threads(8));
+  ASSERT_EQ(batch.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_EQ(batch[i].spg, index.Query(requests[i].u, requests[i].v))
         << "i=" << i;
   }
 }
@@ -37,10 +43,11 @@ TEST(QueryBatchTest, MatchesOracle) {
   QbsOptions options;
   options.num_landmarks = 10;
   QbsIndex index = QbsIndex::Build(g, options);
-  const auto pairs = ToPairs(SampleQueryPairs(g, 100, 6));
-  const auto batch = index.QueryBatch(pairs, 0);
-  for (size_t i = 0; i < pairs.size(); ++i) {
-    ASSERT_EQ(batch[i], SpgByDoubleBfs(g, pairs[i].first, pairs[i].second));
+  const auto requests = ToRequests(SampleQueryPairs(g, 100, 6));
+  const auto batch = index.QueryBatch(requests);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_EQ(batch[i].spg,
+              SpgByDoubleBfs(g, requests[i].u, requests[i].v));
   }
 }
 
@@ -49,10 +56,60 @@ TEST(QueryBatchTest, ThreadCountInvariant) {
   QbsOptions options;
   options.num_landmarks = 8;
   QbsIndex index = QbsIndex::Build(g, options);
-  const auto pairs = ToPairs(SampleQueryPairs(g, 150, 8));
-  const auto one = index.QueryBatch(pairs, 1);
-  const auto many = index.QueryBatch(pairs, 6);
-  EXPECT_EQ(one, many);
+  const auto requests = ToRequests(SampleQueryPairs(g, 150, 8));
+  const auto one = index.QueryBatch(requests, Threads(1));
+  const auto many = index.QueryBatch(requests, Threads(6));
+  ASSERT_EQ(one.size(), many.size());
+  for (size_t i = 0; i < one.size(); ++i) {
+    EXPECT_TRUE(SameAnswer(one[i], many[i])) << "i=" << i;
+  }
+}
+
+TEST(QueryBatchTest, DistanceModeDropsEdges) {
+  Graph g = BarabasiAlbert(400, 3, 11);
+  QbsOptions options;
+  options.num_landmarks = 8;
+  QbsIndex index = QbsIndex::Build(g, options);
+  const auto pairs = SampleQueryPairs(g, 100, 12);
+  const auto spg = index.QueryBatch(ToRequests(pairs, QueryMode::kSpg));
+  const auto dist =
+      index.QueryBatch(ToRequests(pairs, QueryMode::kDistance));
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(dist[i].distance(), spg[i].distance()) << "i=" << i;
+    EXPECT_TRUE(dist[i].spg.edges.empty()) << "i=" << i;
+  }
+}
+
+TEST(QueryBatchTest, BudgetSemantics) {
+  Graph g = PathGraph(50);  // distances are exactly |u - v|
+  QbsOptions options;
+  options.num_landmarks = 4;
+  QbsIndex index = QbsIndex::Build(g, options);
+  std::vector<QueryRequest> requests;
+  requests.emplace_back(0, 3, QueryMode::kSpg, /*budget_in=*/5);   // within
+  requests.emplace_back(0, 5, QueryMode::kSpg, /*budget_in=*/5);   // exactly
+  requests.emplace_back(0, 40, QueryMode::kSpg, /*budget_in=*/5);  // beyond
+  const auto batch = index.QueryBatch(requests);
+
+  EXPECT_EQ(batch[0].distance(), 3u);
+  EXPECT_FALSE(batch[0].spg.edges.empty());
+  EXPECT_EQ(batch[0].flags, 0u);
+
+  EXPECT_EQ(batch[1].distance(), 5u);
+  EXPECT_EQ(batch[1].flags, 0u);
+
+  // Beyond-budget answers carry no edges; either the labels certified the
+  // bound up front (pruned, distance unknown) or the search resolved it
+  // (exact distance, flagged exceeded).
+  EXPECT_TRUE(batch[2].spg.edges.empty());
+  EXPECT_NE(batch[2].flags & (kResponseFlagBudgetPruned |
+                              kResponseFlagBudgetExceeded),
+            0u);
+  if (batch[2].flags & kResponseFlagBudgetExceeded) {
+    EXPECT_EQ(batch[2].distance(), 40u);
+  } else {
+    EXPECT_FALSE(batch[2].spg.Connected());  // distance unknown
+  }
 }
 
 TEST(QueryBatchTest, EmptyAndSingleton) {
@@ -60,10 +117,11 @@ TEST(QueryBatchTest, EmptyAndSingleton) {
   QbsOptions options;
   options.num_landmarks = 2;
   QbsIndex index = QbsIndex::Build(g, options);
-  EXPECT_TRUE(index.QueryBatch({}, 4).empty());
-  const auto single = index.QueryBatch({{0, 9}}, 4);
+  EXPECT_TRUE(index.QueryBatch(std::vector<QueryRequest>{}).empty());
+  const auto single =
+      index.QueryBatch(std::vector<QueryRequest>{QueryRequest(0, 9)});
   ASSERT_EQ(single.size(), 1u);
-  EXPECT_EQ(single[0], SpgByDoubleBfs(g, 0, 9));
+  EXPECT_EQ(single[0].spg, SpgByDoubleBfs(g, 0, 9));
 }
 
 TEST(QueryBatchTest, ConcurrentBatchesOnOneIndex) {
@@ -73,17 +131,20 @@ TEST(QueryBatchTest, ConcurrentBatchesOnOneIndex) {
   QbsOptions options;
   options.num_landmarks = 10;
   QbsIndex index = QbsIndex::Build(g, options);
-  const auto pairs = ToPairs(SampleQueryPairs(g, 200, 3));
-  const auto expected = index.QueryBatch(pairs, 1);
-  std::vector<std::vector<ShortestPathGraph>> got(4);
+  const auto requests = ToRequests(SampleQueryPairs(g, 200, 3));
+  const auto expected = index.QueryBatch(requests, Threads(1));
+  std::vector<std::vector<QueryResponse>> got(4);
   std::vector<std::thread> callers;
   for (size_t t = 0; t < got.size(); ++t) {
     callers.emplace_back(
-        [&, t] { got[t] = index.QueryBatch(pairs, 3); });
+        [&, t] { got[t] = index.QueryBatch(requests, Threads(3)); });
   }
   for (auto& c : callers) c.join();
   for (const auto& result : got) {
-    ASSERT_EQ(result, expected);
+    ASSERT_EQ(result.size(), expected.size());
+    for (size_t i = 0; i < result.size(); ++i) {
+      ASSERT_TRUE(SameAnswer(result[i], expected[i])) << "i=" << i;
+    }
   }
 }
 
@@ -92,13 +153,35 @@ TEST(QueryBatchTest, DuplicateAndSelfPairs) {
   QbsOptions options;
   options.num_landmarks = 3;
   QbsIndex index = QbsIndex::Build(g, options);
-  const std::vector<std::pair<VertexId, VertexId>> pairs{
-      {0, 10}, {0, 10}, {5, 5}, {10, 0}};
-  const auto batch = index.QueryBatch(pairs, 2);
-  EXPECT_EQ(batch[0], batch[1]);
-  EXPECT_EQ(batch[2].distance, 0u);
-  EXPECT_EQ(batch[3].distance, batch[0].distance);
+  const std::vector<QueryRequest> requests{
+      QueryRequest(0, 10), QueryRequest(0, 10), QueryRequest(5, 5),
+      QueryRequest(10, 0)};
+  const auto batch = index.QueryBatch(requests);
+  EXPECT_TRUE(SameAnswer(batch[0], batch[1]));
+  EXPECT_EQ(batch[2].distance(), 0u);
+  EXPECT_EQ(batch[3].distance(), batch[0].distance());
 }
+
+// The deprecated pair-based overloads must keep answering identically to
+// the QueryRequest form until they are removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(QueryBatchTest, DeprecatedPairOverloadsStillAgree) {
+  Graph g = BarabasiAlbert(300, 3, 15);
+  QbsOptions options;
+  options.num_landmarks = 8;
+  QbsIndex index = QbsIndex::Build(g, options);
+  const auto sampled = SampleQueryPairs(g, 80, 21);
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (const auto& p : sampled) pairs.emplace_back(p.u, p.v);
+  const auto via_pairs = index.QueryBatch(pairs, size_t{4});
+  const auto via_requests = index.QueryBatch(ToRequests(sampled));
+  ASSERT_EQ(via_pairs.size(), via_requests.size());
+  for (size_t i = 0; i < via_pairs.size(); ++i) {
+    EXPECT_EQ(via_pairs[i], via_requests[i].spg) << "i=" << i;
+  }
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace qbs

@@ -32,11 +32,13 @@ TEST(QueryBatchThrowTest, ThrowingQueryReturnsSearchersToPool) {
   QbsIndex index = BuildSmallIndex(g);
 
   // Populate the pool.
-  std::vector<std::pair<VertexId, VertexId>> pairs;
+  std::vector<QueryRequest> requests;
   for (const auto& [u, v] : SampleQueryPairs(g, 32, 9)) {
-    pairs.emplace_back(u, v);
+    requests.emplace_back(u, v);
   }
-  index.QueryBatch(pairs, /*num_threads=*/4);
+  QbsIndex::BatchOptions four;
+  four.num_threads = 4;
+  index.QueryBatch(requests, four);
   const size_t pool_before = index.BatchSearcherPoolSize();
   ASSERT_GT(pool_before, 0u);
 
@@ -47,7 +49,7 @@ TEST(QueryBatchThrowTest, ThrowingQueryReturnsSearchersToPool) {
     // Checked out: the pool shrank by what it could supply.
     EXPECT_LT(index.BatchSearcherPoolSize(), pool_before);
     // Run a real query on a leased searcher, then fail "mid-batch".
-    lease[0].Query(pairs[0].first, pairs[0].second);
+    lease[0].Query(requests[0].u, requests[0].v);
     throw std::runtime_error("query failed mid-batch");
   } catch (const std::runtime_error&) {
     thrown = true;
@@ -63,24 +65,27 @@ TEST(QueryBatchThrowTest, ThrowingQueryReturnsSearchersToPool) {
 TEST(QueryBatchThrowTest, PoolStableAcrossBatches) {
   Graph g = BarabasiAlbert(400, 3, 10);
   QbsIndex index = BuildSmallIndex(g);
-  std::vector<std::pair<VertexId, VertexId>> pairs;
+  std::vector<QueryRequest> requests;
   for (const auto& [u, v] : SampleQueryPairs(g, 64, 10)) {
-    pairs.emplace_back(u, v);
+    requests.emplace_back(u, v);
   }
-  const auto first = index.QueryBatch(pairs, /*num_threads=*/4);
+  QbsIndex::BatchOptions four;
+  four.num_threads = 4;
+  const auto first = index.QueryBatch(requests, four);
   const size_t pool_after_first = index.BatchSearcherPoolSize();
   ASSERT_GT(pool_after_first, 0u);
   for (int round = 0; round < 3; ++round) {
-    const auto batch = index.QueryBatch(pairs, /*num_threads=*/4);
-    ASSERT_EQ(batch.size(), pairs.size());
-    for (size_t i = 0; i < pairs.size(); ++i) {
-      ASSERT_EQ(batch[i], first[i]) << "round " << round << " pair " << i;
+    const auto batch = index.QueryBatch(requests, four);
+    ASSERT_EQ(batch.size(), requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      ASSERT_TRUE(SameAnswer(batch[i], first[i]))
+          << "round " << round << " pair " << i;
     }
     EXPECT_EQ(index.BatchSearcherPoolSize(), pool_after_first)
         << "round " << round;
   }
-  for (size_t i = 0; i < pairs.size(); ++i) {
-    ASSERT_EQ(index.Query(pairs[i].first, pairs[i].second), first[i]);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_EQ(index.Query(requests[i].u, requests[i].v), first[i].spg);
   }
 }
 

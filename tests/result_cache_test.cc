@@ -1,0 +1,183 @@
+// Hot-pair result cache: correctness of the bit-identity contract (a hit
+// replays exactly the payload of the miss that stored it), LRU eviction
+// under a byte budget, and shard-level thread safety (the concurrent
+// hammer runs under TSan in CI's nightly job).
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/result_cache.h"
+
+namespace qbs::server {
+namespace {
+
+QueryResponse MakeResponse(VertexId u, VertexId v, uint32_t distance,
+                           std::vector<Edge> edges, uint32_t flags = 0) {
+  QueryResponse response;
+  response.spg.u = u;
+  response.spg.v = v;
+  response.spg.distance = distance;
+  response.spg.edges = std::move(edges);
+  response.flags = flags;
+  response.stats.edges_scanned_search = 999;  // diagnostic, never cached
+  return response;
+}
+
+TEST(ResultCacheTest, HitReplaysMissPayloadBitIdentically) {
+  ResultCache cache({.capacity_bytes = 1 << 20, .shards = 4});
+  const QueryRequest request(3, 9);
+  const QueryResponse stored =
+      MakeResponse(3, 9, 2, {{3, 5}, {5, 9}});
+
+  QueryResponse out;
+  EXPECT_FALSE(cache.Lookup(request, &out));
+  cache.Insert(request, stored);
+  ASSERT_TRUE(cache.Lookup(request, &out));
+  EXPECT_TRUE(SameAnswer(out, stored));  // the bit-identity contract
+  EXPECT_TRUE(out.cache_hit);
+  // Diagnostics are not replayed: a hit did no search.
+  EXPECT_EQ(out.stats.TotalEdgesScanned(), 0u);
+}
+
+TEST(ResultCacheTest, ReversedPairSharesEntryWithReorientedEcho) {
+  ResultCache cache({.capacity_bytes = 1 << 20, .shards = 4});
+  const QueryRequest forward(3, 9);
+  const QueryRequest reverse(9, 3);
+  cache.Insert(forward, MakeResponse(3, 9, 2, {{3, 5}, {5, 9}}));
+
+  QueryResponse out;
+  ASSERT_TRUE(cache.Lookup(reverse, &out));
+  // Same normalized payload, echo re-stamped to the request orientation.
+  EXPECT_EQ(out.spg.u, 9u);
+  EXPECT_EQ(out.spg.v, 3u);
+  EXPECT_EQ(out.spg.distance, 2u);
+  EXPECT_EQ(out.spg.edges.size(), 2u);
+  const auto stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(ResultCacheTest, ModeAndBudgetAreDistinctKeys) {
+  ResultCache cache({.capacity_bytes = 1 << 20, .shards = 1});
+  QueryRequest spg(1, 2, QueryMode::kSpg);
+  QueryRequest dist(1, 2, QueryMode::kDistance);
+  QueryRequest budgeted(1, 2, QueryMode::kSpg, /*budget_in=*/3);
+  cache.Insert(spg, MakeResponse(1, 2, 1, {{1, 2}}));
+
+  QueryResponse out;
+  EXPECT_TRUE(cache.Lookup(spg, &out));
+  EXPECT_FALSE(cache.Lookup(dist, &out));
+  EXPECT_FALSE(cache.Lookup(budgeted, &out));
+
+  cache.Insert(dist, MakeResponse(1, 2, 1, {}));
+  ASSERT_TRUE(cache.Lookup(dist, &out));
+  EXPECT_TRUE(out.spg.edges.empty());
+  ASSERT_TRUE(cache.Lookup(spg, &out));
+  EXPECT_EQ(out.spg.edges.size(), 1u);
+}
+
+TEST(ResultCacheTest, FlagsArePartOfTheReplayedPayload) {
+  ResultCache cache({.capacity_bytes = 1 << 20, .shards = 1});
+  const QueryRequest request(4, 40, QueryMode::kSpg, /*budget_in=*/2);
+  cache.Insert(request,
+               MakeResponse(4, 40, 7, {}, kResponseFlagBudgetExceeded));
+  QueryResponse out;
+  ASSERT_TRUE(cache.Lookup(request, &out));
+  EXPECT_EQ(out.flags, kResponseFlagBudgetExceeded);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedUnderCapacity) {
+  // A deliberately tiny single-shard cache whose entries are dominated by
+  // their edge payloads (64 edges = 512 bytes each), so roughly three fit
+  // in 2 KiB: inserting past the budget must evict from the cold end, and
+  // touching an entry must protect it.
+  ResultCache cache({.capacity_bytes = 2048, .shards = 1});
+  const auto fill = [&](VertexId i) {
+    std::vector<Edge> edges;
+    for (VertexId e = 0; e < 64; ++e) edges.push_back({i + e, i + e + 1});
+    cache.Insert(QueryRequest(i, i + 1000),
+                 MakeResponse(i, i + 1000, 64, std::move(edges)));
+  };
+  fill(0);
+  fill(1);
+  fill(2);
+  QueryResponse out;
+  ASSERT_TRUE(cache.Lookup(QueryRequest(0, 1000), &out));  // 0 is now MRU
+  fill(3);  // over budget: the cold end is entry 1, not the touched entry 0
+
+  const auto stats = cache.GetStats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes, 2048u);
+  // Entry 1 (never touched again) must be gone; touched entry 0 survives.
+  EXPECT_FALSE(cache.Lookup(QueryRequest(1, 1001), &out));
+  EXPECT_TRUE(cache.Lookup(QueryRequest(0, 1000), &out));
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisables) {
+  ResultCache cache({.capacity_bytes = 0, .shards = 4});
+  const QueryRequest request(1, 2);
+  cache.Insert(request, MakeResponse(1, 2, 1, {{1, 2}}));
+  QueryResponse out;
+  EXPECT_FALSE(cache.Lookup(request, &out));
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+}
+
+TEST(ResultCacheTest, ReinsertRefreshesInPlace) {
+  ResultCache cache({.capacity_bytes = 1 << 20, .shards = 1});
+  const QueryRequest request(5, 6);
+  cache.Insert(request, MakeResponse(5, 6, 1, {{5, 6}}));
+  cache.Insert(request, MakeResponse(5, 6, 1, {{5, 6}}));
+  const auto stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.insertions, 1u);  // second insert was a refresh
+}
+
+TEST(ResultCacheTest, ClearDropsEntriesKeepsCounters) {
+  ResultCache cache({.capacity_bytes = 1 << 20, .shards = 2});
+  cache.Insert(QueryRequest(1, 2), MakeResponse(1, 2, 1, {{1, 2}}));
+  QueryResponse out;
+  ASSERT_TRUE(cache.Lookup(QueryRequest(1, 2), &out));
+  cache.Clear();
+  EXPECT_FALSE(cache.Lookup(QueryRequest(1, 2), &out));
+  const auto stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(ResultCacheTest, ConcurrentHammer) {
+  // 8 threads × mixed lookups/inserts over an overlapping key range on a
+  // capacity-constrained cache: exercises eviction racing lookup splices.
+  // Run under TSan in CI; asserts only invariants that hold under races.
+  ResultCache cache({.capacity_bytes = 64 * 1024, .shards = 4});
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const VertexId u = static_cast<VertexId>((t * 7 + i) % 97);
+        const VertexId v = u + 1000;
+        const QueryRequest request(u, v);
+        QueryResponse out;
+        if (cache.Lookup(request, &out)) {
+          // Whatever is replayed must be the payload stored for this key.
+          ASSERT_EQ(out.spg.distance, u % 5);
+          ASSERT_TRUE(out.cache_hit);
+        } else {
+          cache.Insert(request,
+                       MakeResponse(u, v, u % 5, {{u, u + 1}}));
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto stats = cache.GetStats();
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+  EXPECT_LE(stats.bytes, 64u * 1024u);
+}
+
+}  // namespace
+}  // namespace qbs::server

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <array>
 #include <cstdio>
 #include <cstdlib>
@@ -119,6 +121,94 @@ TEST_F(CliSmokeTest, GenerateBuildSaveLoadQuery) {
     return acc;
   };
   EXPECT_EQ(summary_lines(loaded_out), summary_lines(fresh_out));
+}
+
+TEST_F(CliSmokeTest, QueryFormatsAndRequestFiles) {
+  const std::string cli = Quoted(g_cli_path);
+  const std::string edges = Path("g.edges");
+  RunOk(cli + " generate ba " + Quoted(edges) + " 200 3 7");
+
+  // A request file with comments, blank lines, and per-line mode/budget
+  // overrides — the batch input surface of the restructured query verb.
+  const std::string requests = Path("requests.txt");
+  {
+    FILE* f = fopen(requests.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(
+        "# u v [mode] [budget]\n"
+        "0 199\n"
+        "\n"
+        "5 150 distance\n"
+        "17 123 spg 2\n",
+        f);
+    fclose(f);
+  }
+
+  const std::string base = cli + " query " + Quoted(edges) +
+                           " - --requests " + Quoted(requests);
+  const std::string tsv = RunOk(base + " --format tsv");
+  EXPECT_NE(tsv.find("# u\tv\tmode\tbudget\tdistance"), std::string::npos)
+      << tsv;
+  EXPECT_NE(tsv.find("5\t150\tdistance\t0\t"), std::string::npos) << tsv;
+  EXPECT_NE(tsv.find("17\t123\tspg\t2\t"), std::string::npos) << tsv;
+
+  const std::string jsonl = RunOk(base + " --format jsonl");
+  EXPECT_NE(jsonl.find("{\"u\":0,\"v\":199,\"mode\":\"spg\""),
+            std::string::npos)
+      << jsonl;
+  EXPECT_NE(jsonl.find("\"distance\":"), std::string::npos) << jsonl;
+
+  // Out-of-range vertex: runtime failure, not a crash; exit code 1.
+  FILE* pipe = popen((cli + " query " + Quoted(edges) +
+                      " - 0 99999 --format tsv 2>/dev/null")
+                         .c_str(),
+                     "r");
+  ASSERT_NE(pipe, nullptr);
+  const int status = pclose(pipe);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 1);
+}
+
+TEST_F(CliSmokeTest, ServeAndLoadRoundTrip) {
+  const std::string cli = Quoted(g_cli_path);
+  const std::string edges = Path("g.edges");
+  const std::string index = Path("g.qbs");
+  RunOk(cli + " generate ba " + Quoted(edges) + " 300 3 7");
+  RunOk(cli + " build " + Quoted(edges) + " " + Quoted(index) +
+        " --landmarks 8");
+
+  // Start the daemon on an ephemeral port and parse it from the readiness
+  // line, then drive it with the seeded load client and ask it to shut
+  // down; the daemon must exit 0.
+  FILE* server = popen((cli + " serve " + Quoted(edges) + " " +
+                        Quoted(index) + " --port 0 2>&1")
+                           .c_str(),
+                       "r");
+  ASSERT_NE(server, nullptr);
+  std::array<char, 512> line{};
+  ASSERT_NE(fgets(line.data(), line.size(), server), nullptr);
+  const std::string ready(line.data());
+  ASSERT_NE(ready.find("listening on"), std::string::npos) << ready;
+  const size_t colon = ready.find("127.0.0.1:");
+  ASSERT_NE(colon, std::string::npos) << ready;
+  const int port = std::atoi(ready.c_str() + colon + 10);
+  ASSERT_GT(port, 0) << ready;
+
+  const std::string load_out =
+      RunOk(cli + " load " + Quoted(edges) + " 127.0.0.1 " +
+            std::to_string(port) +
+            " --queries 500 --pairs 40 --seed 42 --shutdown");
+  EXPECT_NE(load_out.find("500/500 ok"), std::string::npos) << load_out;
+  EXPECT_NE(load_out.find("hit-rate"), std::string::npos) << load_out;
+  EXPECT_NE(load_out.find("acknowledged shutdown"), std::string::npos)
+      << load_out;
+
+  // Drain the daemon's remaining output (stats dump) and reap it.
+  while (fgets(line.data(), line.size(), server) != nullptr) {
+  }
+  const int status = pclose(server);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
 }
 
 TEST_F(CliSmokeTest, UsageOnBadInvocation) {

@@ -3,7 +3,9 @@
 //   qbs generate <family> <out.edges> [args...]   synthesize a graph
 //   qbs stats    <graph>                          print graph statistics
 //   qbs build    <graph> <out.qbs> [opts]         build & save an index
-//   qbs query    <graph> <index.qbs|-> <u> <v> [more u v ...]
+//   qbs query    <graph> <index.qbs|-> [pairs | --requests F] [opts]
+//   qbs serve    <graph> <index.qbs|-> [opts]     long-lived query daemon
+//   qbs load     <graph> <host> <port> [opts]     drive a daemon with load
 //   qbs datasets                                  list the dataset registry
 //
 // <graph> is an edge-list path (".gz" decompressed on the fly) or
@@ -24,13 +26,29 @@
 //                --no-delta
 //
 // query: pass '-' as the index path to build one in memory on the fly.
+// Pairs come either positionally (u v u v ...) or from --requests FILE
+// ('-' = stdin; lines "u v [spg|distance] [budget]", '#' comments).
+// --format human|tsv|jsonl selects output. Exit codes: 0 = all queries
+// answered, 1 = runtime failure (bad graph/index/request input),
+// 2 = usage error.
+//
+// serve/load quickstart (see docs/REPRODUCING.md for the full runbook):
+//   qbs serve graph.edges index.qbs --port 7471 &
+//   qbs load  graph.edges 127.0.0.1 7471 --queries 20000 --shutdown
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/qbs_index.h"
@@ -39,10 +57,14 @@
 #include "graph/components.h"
 #include "graph/dataset_io.h"
 #include "graph/edge_list_io.h"
+#include "server/client.h"
+#include "server/latency_histogram.h"
+#include "server/server.h"
 #include "util/timer.h"
 #include "workload/dataset_registry.h"
 #include "workload/datasets.h"
 #include "workload/query_workload.h"
+#include "workload/synthetic_workload.h"
 
 namespace {
 
@@ -53,7 +75,17 @@ int Usage() {
       "       qbs stats <graph>\n"
       "       qbs build <graph> <out.qbs> [--landmarks K] "
       "[--threads T] [--strategy S] [--no-delta]\n"
-      "       qbs query <graph> <index.qbs|-> <u> <v> ...\n"
+      "       qbs query <graph> <index.qbs|-> [u v ...] "
+      "[--requests FILE|-] [--mode spg|distance] [--budget N]\n"
+      "                 [--format human|tsv|jsonl] [--threads T]\n"
+      "       qbs serve <graph> <index.qbs|-> [--host H] [--port P] "
+      "[--max-inflight N] [--max-queue N]\n"
+      "                 [--max-conns N] [--cache-mb MB] "
+      "[--no-remote-shutdown]\n"
+      "       qbs load <graph> <host> <port> [--queries N] [--pairs N] "
+      "[--zipf S] [--seed S] [--conns C]\n"
+      "                 [--mode spg|distance] [--budget N] [--rate QPS] "
+      "[--burst F] [--no-cache] [--shutdown]\n"
       "       qbs datasets\n"
       "<graph>: an edge-list path (.gz ok) or dataset:<name> "
       "(see `qbs datasets`)\n");
@@ -220,47 +252,481 @@ int Build(int argc, char** argv) {
   return 0;
 }
 
-int Query(int argc, char** argv) {
-  if (argc < 4 || (argc - 2) % 2 != 0) return Usage();
-  auto g = LoadGraphArg(argv[0]);
-  if (!g.has_value()) return 1;
-
-  std::optional<qbs::QbsIndex> index;
+// Loads-or-builds the index for serving/querying ('-' = build in memory).
+std::optional<qbs::QbsIndex> LoadOrBuildIndex(const qbs::Graph& g,
+                                              const char* index_arg) {
   qbs::QbsOptions options;
   options.num_threads = 0;
-  if (std::strcmp(argv[1], "-") == 0) {
-    index = qbs::QbsIndex::Build(*g, options);
+  if (std::strcmp(index_arg, "-") == 0) {
+    return qbs::QbsIndex::Build(g, options);
+  }
+  return qbs::QbsIndex::LoadFromFile(g, index_arg, options);
+}
+
+bool ParseMode(const std::string& s, qbs::QueryMode* mode) {
+  if (s == "spg") {
+    *mode = qbs::QueryMode::kSpg;
+  } else if (s == "distance" || s == "d") {
+    *mode = qbs::QueryMode::kDistance;
   } else {
-    index = qbs::QbsIndex::LoadFromFile(*g, argv[1], options);
-    if (!index.has_value()) return 1;
+    return false;
+  }
+  return true;
+}
+
+// One request per line: "u v [spg|distance] [budget]". Blank lines and
+// '#' comments are skipped. Defaults come from the command line.
+bool ParseRequestLine(const std::string& line,
+                      const qbs::QueryRequest& defaults,
+                      qbs::QueryRequest* out, std::string* error) {
+  std::istringstream in(line);
+  std::string u_tok, v_tok, mode_tok, budget_tok;
+  if (!(in >> u_tok >> v_tok)) {
+    *error = "expected 'u v [spg|distance] [budget]'";
+    return false;
+  }
+  *out = defaults;
+  out->u = static_cast<qbs::VertexId>(ArgU64(u_tok.c_str()));
+  out->v = static_cast<qbs::VertexId>(ArgU64(v_tok.c_str()));
+  if (in >> mode_tok) {
+    if (!ParseMode(mode_tok, &out->mode)) {
+      *error = "unknown mode '" + mode_tok + "'";
+      return false;
+    }
+  }
+  if (in >> budget_tok) {
+    out->budget = static_cast<uint32_t>(ArgU64(budget_tok.c_str()));
+  }
+  return true;
+}
+
+enum class QueryFormat { kHuman, kTsv, kJsonl };
+
+void PrintTsvHeader() {
+  std::printf("# u\tv\tmode\tbudget\tdistance\tflags\tedge_scans\tedges\n");
+}
+
+void PrintResponseTsv(const qbs::QueryRequest& request,
+                      const qbs::QueryResponse& response) {
+  std::printf("%u\t%u\t%s\t%u\t%lld\t%u\t%llu\t", request.u, request.v,
+              request.mode == qbs::QueryMode::kDistance ? "distance" : "spg",
+              request.budget,
+              response.spg.Connected()
+                  ? static_cast<long long>(response.spg.distance)
+                  : -1LL,
+              response.flags,
+              static_cast<unsigned long long>(
+                  response.stats.TotalEdgesScanned()));
+  if (response.spg.edges.empty()) {
+    std::printf("-");
+  } else {
+    for (size_t i = 0; i < response.spg.edges.size(); ++i) {
+      std::printf("%s%u-%u", i == 0 ? "" : ";", response.spg.edges[i].u,
+                  response.spg.edges[i].v);
+    }
+  }
+  std::printf("\n");
+}
+
+void PrintResponseJsonl(const qbs::QueryRequest& request,
+                        const qbs::QueryResponse& response) {
+  std::printf("{\"u\":%u,\"v\":%u,\"mode\":\"%s\",\"budget\":%u,", request.u,
+              request.v,
+              request.mode == qbs::QueryMode::kDistance ? "distance" : "spg",
+              request.budget);
+  if (response.spg.Connected()) {
+    std::printf("\"distance\":%u,", response.spg.distance);
+  } else {
+    std::printf("\"distance\":null,");
+  }
+  std::printf("\"flags\":%u,\"cache_hit\":%s,\"edge_scans\":%llu,\"edges\":[",
+              response.flags, response.cache_hit ? "true" : "false",
+              static_cast<unsigned long long>(
+                  response.stats.TotalEdgesScanned()));
+  for (size_t i = 0; i < response.spg.edges.size(); ++i) {
+    std::printf("%s[%u,%u]", i == 0 ? "" : ",", response.spg.edges[i].u,
+                response.spg.edges[i].v);
+  }
+  std::printf("]}\n");
+}
+
+void PrintResponseHuman(const qbs::QueryRequest& request,
+                        const qbs::QueryResponse& response, double ms) {
+  const auto u = request.u;
+  const auto v = request.v;
+  if (response.flags & qbs::kResponseFlagBudgetPruned) {
+    std::printf("SPG(%u,%u): beyond budget %u (label-certified, %.4f ms)\n",
+                u, v, request.budget, ms);
+    return;
+  }
+  if (!response.spg.Connected()) {
+    std::printf("SPG(%u,%u): disconnected (%.4f ms)\n", u, v, ms);
+    return;
+  }
+  const auto& spg = response.spg;
+  if (request.mode == qbs::QueryMode::kDistance ||
+      (response.flags & qbs::kResponseFlagBudgetExceeded) != 0) {
+    std::printf("SPG(%u,%u): d=%u (%.4f ms, %llu edge scans)\n", u, v,
+                spg.distance, ms,
+                static_cast<unsigned long long>(
+                    response.stats.TotalEdgesScanned()));
+    return;
+  }
+  std::printf("SPG(%u,%u): d=%u, %zu vertices, %zu edges, %llu paths "
+              "(%.4f ms, %llu edge scans)\n",
+              u, v, spg.distance, spg.Vertices().size(), spg.edges.size(),
+              static_cast<unsigned long long>(spg.CountShortestPaths()), ms,
+              static_cast<unsigned long long>(
+                  response.stats.TotalEdgesScanned()));
+  for (const qbs::Edge& e : spg.edges) {
+    std::printf("  %u %u\n", e.u, e.v);
+  }
+}
+
+int Query(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const char* graph_arg = argv[0];
+  const char* index_arg = argv[1];
+
+  qbs::QueryRequest defaults;
+  QueryFormat format = QueryFormat::kHuman;
+  std::string requests_path;
+  size_t threads = 0;
+  std::vector<qbs::VertexId> positional;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--requests" && i + 1 < argc) {
+      requests_path = argv[++i];
+    } else if (a == "--mode" && i + 1 < argc) {
+      if (!ParseMode(argv[++i], &defaults.mode)) {
+        std::fprintf(stderr, "unknown mode %s\n", argv[i]);
+        return 2;
+      }
+    } else if (a == "--budget" && i + 1 < argc) {
+      defaults.budget = static_cast<uint32_t>(ArgU64(argv[++i]));
+    } else if (a == "--threads" && i + 1 < argc) {
+      threads = static_cast<size_t>(ArgU64(argv[++i]));
+    } else if (a == "--format" && i + 1 < argc) {
+      const std::string f = argv[++i];
+      if (f == "human") {
+        format = QueryFormat::kHuman;
+      } else if (f == "tsv") {
+        format = QueryFormat::kTsv;
+      } else if (f == "jsonl") {
+        format = QueryFormat::kJsonl;
+      } else {
+        std::fprintf(stderr, "unknown format %s\n", f.c_str());
+        return 2;
+      }
+    } else if (!a.empty() && a[0] == '-' && a != "-") {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      return 2;
+    } else {
+      positional.push_back(static_cast<qbs::VertexId>(ArgU64(argv[i])));
+    }
+  }
+  if (!requests_path.empty() && !positional.empty()) {
+    std::fprintf(stderr,
+                 "pass pairs positionally or via --requests, not both\n");
+    return 2;
+  }
+  if (requests_path.empty() &&
+      (positional.empty() || positional.size() % 2 != 0)) {
+    return Usage();
   }
 
-  for (int i = 2; i + 1 < argc; i += 2) {
-    const auto u = static_cast<qbs::VertexId>(ArgU64(argv[i]));
-    const auto v = static_cast<qbs::VertexId>(ArgU64(argv[i + 1]));
-    if (u >= g->NumVertices() || v >= g->NumVertices()) {
-      std::fprintf(stderr, "vertex out of range: %u %u\n", u, v);
-      return 2;
+  auto g = LoadGraphArg(graph_arg);
+  if (!g.has_value()) return 1;
+
+  // Assemble the request batch before touching the index, so input errors
+  // fail fast (exit 1) without paying for a build.
+  std::vector<qbs::QueryRequest> requests;
+  if (!requests_path.empty()) {
+    std::ifstream file;
+    std::istream* in = &std::cin;
+    if (requests_path != "-") {
+      file.open(requests_path);
+      if (!file) {
+        std::fprintf(stderr, "cannot read %s\n", requests_path.c_str());
+        return 1;
+      }
+      in = &file;
     }
-    qbs::WallTimer timer;
-    qbs::SearchStats stats;
-    const auto spg = index->Query(u, v, &stats);
-    const double ms = timer.ElapsedMillis();
-    if (!spg.Connected()) {
-      std::printf("SPG(%u,%u): disconnected (%.4f ms)\n", u, v, ms);
-      continue;
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(*in, line)) {
+      ++line_no;
+      const size_t start = line.find_first_not_of(" \t\r");
+      if (start == std::string::npos || line[start] == '#') continue;
+      qbs::QueryRequest request;
+      std::string error;
+      if (!ParseRequestLine(line, defaults, &request, &error)) {
+        std::fprintf(stderr, "%s:%zu: %s\n", requests_path.c_str(), line_no,
+                     error.c_str());
+        return 1;
+      }
+      requests.push_back(request);
     }
-    std::printf("SPG(%u,%u): d=%u, %zu vertices, %zu edges, %llu paths "
-                "(%.4f ms, %llu edge scans)\n",
-                u, v, spg.distance, spg.Vertices().size(), spg.edges.size(),
-                static_cast<unsigned long long>(spg.CountShortestPaths()),
-                ms,
-                static_cast<unsigned long long>(stats.TotalEdgesScanned()));
-    for (const qbs::Edge& e : spg.edges) {
-      std::printf("  %u %u\n", e.u, e.v);
+  } else {
+    for (size_t i = 0; i + 1 < positional.size(); i += 2) {
+      qbs::QueryRequest request = defaults;
+      request.u = positional[i];
+      request.v = positional[i + 1];
+      requests.push_back(request);
+    }
+  }
+  for (const auto& request : requests) {
+    if (request.u >= g->NumVertices() || request.v >= g->NumVertices()) {
+      std::fprintf(stderr, "vertex out of range: %u %u (|V| = %u)\n",
+                   request.u, request.v, g->NumVertices());
+      return 1;
+    }
+  }
+
+  auto index = LoadOrBuildIndex(*g, index_arg);
+  if (!index.has_value()) return 1;
+
+  if (format == QueryFormat::kHuman) {
+    // Sequential so each answer carries its own wall time.
+    for (const auto& request : requests) {
+      qbs::WallTimer timer;
+      const qbs::QueryResponse response = index->Query(request);
+      PrintResponseHuman(request, response, timer.ElapsedMillis());
+    }
+    return 0;
+  }
+
+  qbs::QbsIndex::BatchOptions batch_options;
+  batch_options.num_threads = threads;
+  const std::vector<qbs::QueryResponse> responses =
+      index->QueryBatch(requests, batch_options);
+  if (format == QueryFormat::kTsv) PrintTsvHeader();
+  for (size_t i = 0; i < responses.size(); ++i) {
+    if (format == QueryFormat::kTsv) {
+      PrintResponseTsv(requests[i], responses[i]);
+    } else {
+      PrintResponseJsonl(requests[i], responses[i]);
     }
   }
   return 0;
+}
+
+std::atomic<int> g_signal{0};
+
+void OnSignal(int sig) { g_signal.store(sig); }
+
+int Serve(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  qbs::server::ServerOptions options;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--host" && i + 1 < argc) {
+      options.host = argv[++i];
+    } else if (a == "--port" && i + 1 < argc) {
+      options.port = static_cast<uint16_t>(ArgU64(argv[++i]));
+    } else if (a == "--max-inflight" && i + 1 < argc) {
+      options.max_inflight = static_cast<size_t>(ArgU64(argv[++i]));
+    } else if (a == "--max-queue" && i + 1 < argc) {
+      options.max_queue = static_cast<size_t>(ArgU64(argv[++i]));
+    } else if (a == "--max-conns" && i + 1 < argc) {
+      options.max_connections = static_cast<size_t>(ArgU64(argv[++i]));
+    } else if (a == "--cache-mb" && i + 1 < argc) {
+      options.cache_bytes = static_cast<size_t>(ArgU64(argv[++i])) << 20;
+    } else if (a == "--no-remote-shutdown") {
+      options.allow_remote_shutdown = false;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      return 2;
+    }
+  }
+
+  auto g = LoadGraphArg(argv[0]);
+  if (!g.has_value()) return 1;
+  auto index = LoadOrBuildIndex(*g, argv[1]);
+  if (!index.has_value()) return 1;
+
+  qbs::server::QueryServer server(*index, options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "qbs serve: %s\n", error.c_str());
+    return 1;
+  }
+  // Machine-parseable readiness line (the CI smoke test and the runbook
+  // grep for it), flushed before any query lands.
+  std::printf("qbs serve: listening on %s:%u (|V|=%u, cache %zu MiB)\n",
+              options.host.c_str(), server.port(), g->NumVertices(),
+              options.cache_bytes >> 20);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (!server.WaitFor(200)) {
+    if (g_signal.load() != 0) server.RequestStop();
+  }
+  server.Stop();
+
+  const auto stats = server.GetStats();
+  std::printf(
+      "qbs serve: stopped after %llu queries (%llu busy, %llu bad, "
+      "%llu protocol errors, %llu connections)\n",
+      static_cast<unsigned long long>(stats.queries),
+      static_cast<unsigned long long>(stats.busy_rejections),
+      static_cast<unsigned long long>(stats.bad_requests),
+      static_cast<unsigned long long>(stats.protocol_errors),
+      static_cast<unsigned long long>(stats.connections_accepted));
+  std::printf("  cache: %llu hits / %llu lookups (%.1f%%), %zu entries\n",
+              static_cast<unsigned long long>(stats.cache.hits),
+              static_cast<unsigned long long>(stats.cache.hits +
+                                              stats.cache.misses),
+              100.0 * stats.cache.HitRate(), stats.cache.entries);
+  const auto print_class = [](const char* name,
+                              const qbs::server::LatencyHistogram::Snapshot&
+                                  snap) {
+    if (snap.count == 0) return;
+    std::printf("  %-7s n=%llu p50=%.3fms p99=%.3fms p999=%.3fms\n", name,
+                static_cast<unsigned long long>(snap.count),
+                snap.QuantileMillis(0.50), snap.QuantileMillis(0.99),
+                snap.QuantileMillis(0.999));
+  };
+  print_class("cached", stats.lat_cached);
+  print_class("short", stats.lat_short);
+  print_class("long", stats.lat_long);
+  return 0;
+}
+
+int Load(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  qbs::WorkloadOptions workload;
+  size_t conns = 1;
+  bool send_shutdown = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--queries" && i + 1 < argc) {
+      workload.num_queries = static_cast<size_t>(ArgU64(argv[++i]));
+    } else if (a == "--pairs" && i + 1 < argc) {
+      workload.num_distinct_pairs = static_cast<size_t>(ArgU64(argv[++i]));
+    } else if (a == "--zipf" && i + 1 < argc) {
+      workload.zipf_s = std::atof(argv[++i]);
+    } else if (a == "--seed" && i + 1 < argc) {
+      workload.seed = ArgU64(argv[++i]);
+    } else if (a == "--conns" && i + 1 < argc) {
+      conns = std::max<size_t>(1, static_cast<size_t>(ArgU64(argv[++i])));
+    } else if (a == "--mode" && i + 1 < argc) {
+      if (!ParseMode(argv[++i], &workload.mode)) {
+        std::fprintf(stderr, "unknown mode %s\n", argv[i]);
+        return 2;
+      }
+    } else if (a == "--budget" && i + 1 < argc) {
+      workload.budget = static_cast<uint32_t>(ArgU64(argv[++i]));
+    } else if (a == "--rate" && i + 1 < argc) {
+      workload.arrival_rate_qps = std::atof(argv[++i]);
+    } else if (a == "--burst" && i + 1 < argc) {
+      workload.burst_factor = std::atof(argv[++i]);
+    } else if (a == "--no-cache") {
+      workload.flags |= qbs::kQueryFlagNoCache;
+    } else if (a == "--shutdown") {
+      send_shutdown = true;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      return 2;
+    }
+  }
+  const std::string host = argv[1];
+  const auto port = static_cast<uint16_t>(ArgU64(argv[2]));
+
+  auto g = LoadGraphArg(argv[0]);
+  if (!g.has_value()) return 1;
+  const std::vector<qbs::TimedQuery> queries =
+      qbs::GenerateWorkload(*g, workload);
+
+  // One connection per worker; workers claim queries through a shared
+  // cursor (with conns=1 this is exactly the workload order, which is what
+  // makes single-connection hit-rates reproducible).
+  std::atomic<size_t> cursor{0};
+  std::atomic<uint64_t> ok{0}, hits{0}, busy_retries{0}, errors{0};
+  qbs::server::LatencyHistogram latency;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  auto worker = [&]() {
+    qbs::server::QueryClient client;
+    if (!client.Connect(host, port)) {
+      errors.fetch_add(1);
+      return;
+    }
+    for (;;) {
+      const size_t i = cursor.fetch_add(1);
+      if (i >= queries.size()) break;
+      const qbs::TimedQuery& q = queries[i];
+      if (q.arrival_ns > 0) {
+        const auto target = t0 + std::chrono::nanoseconds(q.arrival_ns);
+        std::this_thread::sleep_until(target);
+      }
+      const auto qt0 = std::chrono::steady_clock::now();
+      qbs::QueryResponse response;
+      for (;;) {
+        const auto status = client.Query(q.request, &response);
+        if (status == qbs::server::QueryClient::RpcStatus::kBusy) {
+          busy_retries.fetch_add(1);
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              std::min<uint32_t>(client.retry_after_ms(), 100)));
+          continue;
+        }
+        if (status == qbs::server::QueryClient::RpcStatus::kOk) {
+          ok.fetch_add(1);
+          if (response.cache_hit) hits.fetch_add(1);
+        } else {
+          errors.fetch_add(1);
+          if (status ==
+              qbs::server::QueryClient::RpcStatus::kTransportError) {
+            return;  // connection is gone
+          }
+        }
+        break;
+      }
+      latency.Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - qt0)
+              .count()));
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(conns);
+  for (size_t c = 0; c < conns; ++c) workers.emplace_back(worker);
+  for (auto& w : workers) w.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const auto snap = latency.GetSnapshot();
+  const uint64_t answered = ok.load();
+  std::printf("qbs load: %llu/%zu ok in %.3fs (%.0f q/s, %zu conns)\n",
+              static_cast<unsigned long long>(answered), queries.size(),
+              elapsed, elapsed > 0 ? static_cast<double>(answered) / elapsed
+                                   : 0.0,
+              conns);
+  std::printf(
+      "  hit-rate %.4f (%llu hits), %llu busy retries, %llu errors\n",
+      answered > 0 ? static_cast<double>(hits.load()) /
+                         static_cast<double>(answered)
+                   : 0.0,
+      static_cast<unsigned long long>(hits.load()),
+      static_cast<unsigned long long>(busy_retries.load()),
+      static_cast<unsigned long long>(errors.load()));
+  std::printf("  p50=%.3fms p99=%.3fms p999=%.3fms mean=%.3fms\n",
+              snap.QuantileMillis(0.50), snap.QuantileMillis(0.99),
+              snap.QuantileMillis(0.999), snap.MeanMillis());
+
+  if (send_shutdown) {
+    qbs::server::QueryClient client;
+    if (!client.Connect(host, port) || !client.Shutdown()) {
+      std::fprintf(stderr, "qbs load: shutdown request failed: %s\n",
+                   client.last_error().c_str());
+      return 1;
+    }
+    std::printf("qbs load: server acknowledged shutdown\n");
+  }
+  return errors.load() == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -272,6 +738,8 @@ int main(int argc, char** argv) {
   if (cmd == "stats") return Stats(argc - 2, argv + 2);
   if (cmd == "build") return Build(argc - 2, argv + 2);
   if (cmd == "query") return Query(argc - 2, argv + 2);
+  if (cmd == "serve") return Serve(argc - 2, argv + 2);
+  if (cmd == "load") return Load(argc - 2, argv + 2);
   if (cmd == "datasets") return Datasets();
   return Usage();
 }
