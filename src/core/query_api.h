@@ -34,6 +34,14 @@ enum class QueryMode : uint8_t {
 /// hot-pair result cache. The index itself ignores it.
 inline constexpr uint32_t kQueryFlagNoCache = 1u << 0;
 
+/// QueryRequest::deadline_ms value meaning "no deadline" (the default).
+/// Any other value — including 0, which is "already expired" — is a
+/// relative budget in milliseconds, measured by the server from the moment
+/// the request frame is decoded. A request whose deadline runs out before
+/// its query starts executing is answered with a kDeadlineExceeded error
+/// instead of being executed late.
+inline constexpr uint32_t kNoDeadline = 0xFFFFFFFFu;
+
 /// QueryResponse::flags bits.
 /// The label lower bound certified d_G(u, v) > budget before any search
 /// ran: the distance is *unknown* (reported kUnreachable) but provably
@@ -42,6 +50,13 @@ inline constexpr uint32_t kResponseFlagBudgetPruned = 1u << 0;
 /// The query resolved and d_G(u, v) > budget: the distance is exact but
 /// the SPG edges are omitted from the payload.
 inline constexpr uint32_t kResponseFlagBudgetExceeded = 1u << 1;
+/// Graceful degradation: an overloaded server answered from the labelling
+/// alone instead of queueing the query. spg.distance carries the label
+/// UPPER bound on d_G(u, v) (kUnreachable when the labels certify
+/// nothing), degraded_lower the matching lower bound, and spg.edges is
+/// empty. Degraded answers are never cached and never compare
+/// SameAnswer-equal to an exact answer (the flag differs by design).
+inline constexpr uint32_t kResponseFlagDegraded = 1u << 2;
 
 struct QueryRequest {
   VertexId u = 0;
@@ -54,15 +69,27 @@ struct QueryRequest {
   uint32_t budget = 0;
   /// kQueryFlag* bits.
   uint32_t flags = 0;
+  /// Serving only: relative deadline in milliseconds (kNoDeadline = none;
+  /// 0 = already expired). Not part of the answer payload — the result
+  /// cache ignores it — but enforced by the server at every admission
+  /// boundary. The index itself ignores it.
+  uint32_t deadline_ms = kNoDeadline;
 
   QueryRequest() = default;
   QueryRequest(VertexId u_in, VertexId v_in, QueryMode m = QueryMode::kSpg,
-               uint32_t budget_in = 0, uint32_t flags_in = 0)
-      : u(u_in), v(v_in), mode(m), budget(budget_in), flags(flags_in) {}
+               uint32_t budget_in = 0, uint32_t flags_in = 0,
+               uint32_t deadline_ms_in = kNoDeadline)
+      : u(u_in),
+        v(v_in),
+        mode(m),
+        budget(budget_in),
+        flags(flags_in),
+        deadline_ms(deadline_ms_in) {}
 
   friend bool operator==(const QueryRequest& a, const QueryRequest& b) {
     return a.u == b.u && a.v == b.v && a.mode == b.mode &&
-           a.budget == b.budget && a.flags == b.flags;
+           a.budget == b.budget && a.flags == b.flags &&
+           a.deadline_ms == b.deadline_ms;
   }
 };
 
@@ -81,8 +108,12 @@ struct QueryResponse {
   /// Serving metadata: answered from the hot-pair result cache. Never set
   /// by the index itself.
   bool cache_hit = false;
+  /// Lower bound companion to a kResponseFlagDegraded answer (spg.distance
+  /// is the upper bound). Meaningless — and zero — otherwise.
+  uint32_t degraded_lower = 0;
 
   uint32_t distance() const { return spg.distance; }
+  bool degraded() const { return (flags & kResponseFlagDegraded) != 0; }
 
   /// True iff two responses carry the same deterministic answer payload —
   /// everything except the diagnostic stats and the cache_hit bit. This is

@@ -1,92 +1,117 @@
 #include "server/client.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 namespace qbs::server {
 namespace {
 
-bool WriteAll(int fd, const uint8_t* data, size_t size) {
-  size_t sent = 0;
-  while (sent < size) {
-    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
+using Clock = std::chrono::steady_clock;
+
+/// splitmix64 finalizer — the jitter stream. Local copy so the backoff
+/// schedule is a frozen function of the policy, not of whatever the fault
+/// injector's mixer evolves into.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
 }
 
 }  // namespace
 
+uint32_t RetryBackoff::DelayMs(uint32_t retry, uint32_t server_hint_ms) const {
+  double base = static_cast<double>(policy_.base_backoff_ms);
+  for (uint32_t i = 0; i < retry; ++i) {
+    base *= policy_.multiplier;
+    if (base >= static_cast<double>(policy_.max_backoff_ms)) break;
+  }
+  base = std::min(base, static_cast<double>(policy_.max_backoff_ms));
+  // Seeded jitter in [1 - jitter, 1 + jitter]: a pure function of
+  // (seed, retry), so replays produce the identical schedule.
+  const double jitter = std::clamp(policy_.jitter, 0.0, 1.0);
+  if (jitter > 0.0) {
+    const uint64_t draw = Mix64(policy_.seed ^ Mix64(retry + 1));
+    const double unit =
+        static_cast<double>(draw >> 11) / 9007199254740992.0;  // [0, 1)
+    base *= 1.0 + jitter * (2.0 * unit - 1.0);
+  }
+  const uint32_t delay =
+      static_cast<uint32_t>(std::llround(std::max(base, 0.0)));
+  return std::max(delay, server_hint_ms);
+}
+
 QueryClient::~QueryClient() { Close(); }
 
 QueryClient::QueryClient(QueryClient&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)),
+    : sock_(std::move(other.sock_)),
+      options_(other.options_),
+      host_(std::move(other.host_)),
+      port_(other.port_),
       reader_(std::move(other.reader_)),
       retry_after_ms_(other.retry_after_ms_),
+      busy_queue_depth_(other.busy_queue_depth_),
+      last_error_code_(other.last_error_code_),
       last_error_(std::move(other.last_error_)) {}
 
 QueryClient& QueryClient::operator=(QueryClient&& other) noexcept {
   if (this != &other) {
     Close();
-    fd_ = std::exchange(other.fd_, -1);
+    sock_ = std::move(other.sock_);
+    options_ = other.options_;
+    host_ = std::move(other.host_);
+    port_ = other.port_;
     reader_ = std::move(other.reader_);
     retry_after_ms_ = other.retry_after_ms_;
+    busy_queue_depth_ = other.busy_queue_depth_;
+    last_error_code_ = other.last_error_code_;
     last_error_ = std::move(other.last_error_);
   }
   return *this;
 }
 
-bool QueryClient::Connect(const std::string& host, uint16_t port) {
+bool QueryClient::Connect(const std::string& host, uint16_t port,
+                          const ClientOptions& options) {
   Close();
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    last_error_ = std::string("socket: ") + strerror(errno);
+  host_ = host;
+  port_ = port;
+  options_ = options;
+  std::string error;
+  Socket sock = Socket::ConnectTcp(host, port, &error);
+  if (!sock.valid()) {
+    last_error_ = error;
     return false;
   }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    last_error_ = "bad address: " + host;
-    ::close(fd);
-    return false;
-  }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    last_error_ = std::string("connect: ") + strerror(errno);
-    ::close(fd);
-    return false;
-  }
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  fd_ = fd;
+  sock.SetNoDelay();
+  sock.set_fault_injector(options_.fault_injector);
+  sock_ = std::move(sock);
   reader_ = FrameReader();  // fresh framing state for the new stream
   return true;
 }
 
-void QueryClient::Close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
+bool QueryClient::Reconnect() {
+  if (host_.empty()) {
+    last_error_ = "no prior Connect() to redial";
+    return false;
   }
+  return Connect(host_, port_, options_);
 }
+
+void QueryClient::Close() { sock_.Close(); }
 
 bool QueryClient::SendFrame(FrameType type, std::span<const uint8_t> payload) {
   std::vector<uint8_t> frame;
   AppendFrame(&frame, type, payload);
-  if (!WriteAll(fd_, frame.data(), frame.size())) {
-    last_error_ = std::string("send: ") + strerror(errno);
+  const IoStatus status = sock_.SendAll(frame, options_.write_timeout_ms);
+  if (status != IoStatus::kOk) {
+    last_error_ = std::string("send: ") +
+                  (status == IoStatus::kTimeout ? "timed out"
+                                                : strerror(sock_.last_errno()));
     return false;
   }
   return true;
@@ -104,20 +129,30 @@ bool QueryClient::ReadFrame(Frame* reply) {
       case FrameReader::Status::kNeedMore:
         break;
     }
-    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) {
-      last_error_ = n == 0 ? "connection closed by server"
-                           : std::string("recv: ") + strerror(errno);
+    size_t n = 0;
+    const IoStatus status =
+        sock_.RecvSome(buf, sizeof(buf), &n, options_.read_timeout_ms);
+    if (status != IoStatus::kOk) {
+      switch (status) {
+        case IoStatus::kTimeout:
+          last_error_ = "recv: timed out waiting for reply";
+          break;
+        case IoStatus::kClosed:
+          last_error_ = "connection closed by server";
+          break;
+        default:
+          last_error_ = std::string("recv: ") + strerror(sock_.last_errno());
+          break;
+      }
       return false;
     }
-    reader_.Feed(std::span<const uint8_t>(buf, static_cast<size_t>(n)));
+    reader_.Feed(std::span<const uint8_t>(buf, n));
   }
 }
 
 bool QueryClient::RoundTrip(FrameType type, std::span<const uint8_t> payload,
                             Frame* reply) {
-  if (fd_ < 0) {
+  if (!sock_.valid()) {
     last_error_ = "not connected";
     return false;
   }
@@ -145,7 +180,11 @@ QueryClient::RpcStatus QueryClient::Query(const QueryRequest& request,
       return RpcStatus::kOk;
     case FrameType::kBusy: {
       uint32_t hint = 0;
-      if (DecodeBusy(reply.payload, &hint)) retry_after_ms_ = hint;
+      uint32_t depth = 0;
+      if (DecodeBusy(reply.payload, &hint, &depth)) {
+        retry_after_ms_ = hint;
+        busy_queue_depth_ = depth;
+      }
       return RpcStatus::kBusy;
     }
     case FrameType::kError: {
@@ -156,7 +195,10 @@ QueryClient::RpcStatus QueryClient::Query(const QueryRequest& request,
       } else {
         last_error_ = "undecodable error frame";
       }
-      return RpcStatus::kRemoteError;
+      last_error_code_ = code;
+      return code == ErrorCode::kDeadlineExceeded
+                 ? RpcStatus::kDeadlineExceeded
+                 : RpcStatus::kRemoteError;
     }
     default:
       last_error_ = "unexpected reply frame type " +
@@ -164,6 +206,70 @@ QueryClient::RpcStatus QueryClient::Query(const QueryRequest& request,
       Close();
       return RpcStatus::kTransportError;
   }
+}
+
+QueryClient::RpcStatus QueryClient::QueryWithRetry(const QueryRequest& request,
+                                                   QueryResponse* response,
+                                                   const RetryPolicy& policy,
+                                                   RetryStats* stats) {
+  const RetryBackoff backoff(policy);
+  const uint32_t max_attempts = std::max<uint32_t>(policy.max_attempts, 1);
+  const auto start = Clock::now();
+  RetryStats local;
+  RpcStatus status = RpcStatus::kTransportError;
+  for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      const uint32_t hint =
+          status == RpcStatus::kBusy ? retry_after_ms_ : 0;
+      const uint32_t delay_ms = backoff.DelayMs(attempt - 1, hint);
+      if (policy.overall_deadline_ms > 0) {
+        const auto elapsed =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                Clock::now() - start)
+                .count();
+        if (elapsed + delay_ms >= policy.overall_deadline_ms) break;
+      }
+      if (delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      }
+      local.total_backoff_ms += delay_ms;
+    }
+    if (!connected()) {
+      if (!Reconnect()) {
+        // Counts as a spent attempt: a dead endpoint must not spin the
+        // loop without backoff.
+        ++local.attempts;
+        status = RpcStatus::kTransportError;
+        if (!policy.retry_transport_errors) break;
+        ++local.transport_retries;
+        continue;
+      }
+      ++local.reconnects;
+    }
+    ++local.attempts;
+    status = Query(request, response);
+    if (status == RpcStatus::kOk || status == RpcStatus::kRemoteError ||
+        status == RpcStatus::kDeadlineExceeded) {
+      break;  // the server answered: terminal either way
+    }
+    if (status == RpcStatus::kBusy) {
+      local.last_queue_depth = busy_queue_depth_;
+      ++local.busy_retries;
+      continue;
+    }
+    // kTransportError
+    if (!policy.retry_transport_errors) break;
+    ++local.transport_retries;
+  }
+  // The final attempt's failure never fed a retry: don't count it as one.
+  if (status == RpcStatus::kBusy && local.busy_retries > 0) {
+    --local.busy_retries;
+  }
+  if (status == RpcStatus::kTransportError && local.transport_retries > 0) {
+    --local.transport_retries;
+  }
+  if (stats != nullptr) *stats = local;
+  return status;
 }
 
 bool QueryClient::Ping() {

@@ -113,7 +113,7 @@ FrameReader::Status FrameReader::Next(Frame* frame) {
 
 std::vector<uint8_t> EncodeQueryRequest(const QueryRequest& request) {
   std::vector<uint8_t> out;
-  out.reserve(20);
+  out.reserve(24);
   Put32(&out, request.u);
   Put32(&out, request.v);
   out.push_back(static_cast<uint8_t>(request.mode));
@@ -122,11 +122,12 @@ std::vector<uint8_t> EncodeQueryRequest(const QueryRequest& request) {
   out.push_back(0);
   Put32(&out, request.budget);
   Put32(&out, request.flags);
+  Put32(&out, request.deadline_ms);
   return out;
 }
 
 bool DecodeQueryRequest(std::span<const uint8_t> payload, QueryRequest* out) {
-  if (payload.size() != 20) return false;
+  if (payload.size() != 24 && payload.size() != 20) return false;
   const uint8_t mode = payload[8];
   if (mode > static_cast<uint8_t>(QueryMode::kSpg)) return false;
   out->u = Get32(payload.data());
@@ -134,6 +135,9 @@ bool DecodeQueryRequest(std::span<const uint8_t> payload, QueryRequest* out) {
   out->mode = static_cast<QueryMode>(mode);
   out->budget = Get32(payload.data() + 12);
   out->flags = Get32(payload.data() + 16);
+  // The 20-byte layout predates deadlines: no deadline requested.
+  out->deadline_ms =
+      payload.size() == 24 ? Get32(payload.data() + 20) : kNoDeadline;
   return true;
 }
 
@@ -154,6 +158,9 @@ std::vector<uint8_t> EncodeQueryResponse(const QueryResponse& response) {
     Put32(&out, e.u);
     Put32(&out, e.v);
   }
+  if ((response.flags & kResponseFlagDegraded) != 0) {
+    Put32(&out, response.degraded_lower);
+  }
   return out;
 }
 
@@ -163,14 +170,16 @@ bool DecodeQueryResponse(std::span<const uint8_t> payload,
   if (payload.size() < kFixed) return false;
   if (payload[17] != 0 || payload[18] != 0 || payload[19] != 0) return false;
   const uint32_t num_edges = Get32(payload.data() + 28);
-  if (payload.size() != kFixed + static_cast<size_t>(num_edges) * 8) {
+  const uint32_t flags = Get32(payload.data() + 12);
+  const size_t tail = (flags & kResponseFlagDegraded) != 0 ? 4 : 0;
+  if (payload.size() != kFixed + static_cast<size_t>(num_edges) * 8 + tail) {
     return false;
   }
   *out = QueryResponse();
   out->spg.u = Get32(payload.data());
   out->spg.v = Get32(payload.data() + 4);
   out->spg.distance = Get32(payload.data() + 8);
-  out->flags = Get32(payload.data() + 12);
+  out->flags = flags;
   out->cache_hit = payload[16] != 0;
   // The decoded edge-scan total lands in the search counter: the client
   // only ever reads the aggregate back via TotalEdgesScanned().
@@ -180,6 +189,7 @@ bool DecodeQueryResponse(std::span<const uint8_t> payload,
   for (uint32_t i = 0; i < num_edges; ++i, p += 8) {
     out->spg.edges.emplace_back(Get32(p), Get32(p + 4));
   }
+  if (tail != 0) out->degraded_lower = Get32(p);
   return true;
 }
 
@@ -199,15 +209,21 @@ bool DecodeError(std::span<const uint8_t> payload, ErrorCode* code,
   return true;
 }
 
-std::vector<uint8_t> EncodeBusy(uint32_t retry_after_ms) {
+std::vector<uint8_t> EncodeBusy(uint32_t retry_after_ms,
+                                uint32_t queue_depth) {
   std::vector<uint8_t> out;
   Put32(&out, retry_after_ms);
+  Put32(&out, queue_depth);
   return out;
 }
 
-bool DecodeBusy(std::span<const uint8_t> payload, uint32_t* retry_after_ms) {
-  if (payload.size() != 4) return false;
+bool DecodeBusy(std::span<const uint8_t> payload, uint32_t* retry_after_ms,
+                uint32_t* queue_depth) {
+  if (payload.size() != 8 && payload.size() != 4) return false;
   *retry_after_ms = Get32(payload.data());
+  if (queue_depth != nullptr) {
+    *queue_depth = payload.size() == 8 ? Get32(payload.data() + 4) : 0;
+  }
   return true;
 }
 

@@ -64,6 +64,10 @@ enum class ErrorCode : uint32_t {
   kVertexOutOfRange = 2, // u or v >= |V|
   kInternal = 3,
   kShuttingDown = 4,
+  /// The request's deadline_ms ran out before its query began executing
+  /// (at receipt, after an admission wait, or after injected slowness).
+  /// The request was NOT executed; the connection stays open.
+  kDeadlineExceeded = 5,
 };
 
 struct Frame {
@@ -98,6 +102,10 @@ class FrameReader {
 
   const std::string& error() const { return error_; }
 
+  /// Bytes buffered but not yet returned as frames: > 0 means a frame is
+  /// in flight (the server's read-timeout/idle-reaper distinction).
+  size_t PendingBytes() const { return buffer_.size() - consumed_; }
+
  private:
   std::vector<uint8_t> buffer_;
   size_t consumed_ = 0;  // bytes of buffer_ already handed out
@@ -111,11 +119,16 @@ class FrameReader {
 // the wrong size or with out-of-range enum values; they never read past
 // the span.
 
+/// 24-byte fixed layout, deadline_ms last. Decoding also accepts the
+/// 20-byte pre-deadline layout (deadline = kNoDeadline), so a client built
+/// before deadlines landed keeps working against a new server.
 std::vector<uint8_t> EncodeQueryRequest(const QueryRequest& request);
 bool DecodeQueryRequest(std::span<const uint8_t> payload, QueryRequest* out);
 
 /// The response payload carries the deterministic answer (u, v, distance,
 /// flags, edges), the cache-hit bit, and the total-edge-scan diagnostic.
+/// Degraded answers (kResponseFlagDegraded) append the u32 lower bound
+/// after the edge list; the flag gates its presence.
 std::vector<uint8_t> EncodeQueryResponse(const QueryResponse& response);
 bool DecodeQueryResponse(std::span<const uint8_t> payload,
                          QueryResponse* out);
@@ -124,8 +137,14 @@ std::vector<uint8_t> EncodeError(ErrorCode code, const std::string& message);
 bool DecodeError(std::span<const uint8_t> payload, ErrorCode* code,
                  std::string* message);
 
-std::vector<uint8_t> EncodeBusy(uint32_t retry_after_ms);
-bool DecodeBusy(std::span<const uint8_t> payload, uint32_t* retry_after_ms);
+/// Busy payload: retry-after hint + the admission queue depth observed at
+/// rejection (how deep the backlog was — `qbs load` turns this into a
+/// shed-rate report). Decoding accepts the legacy 4-byte hint-only layout
+/// (depth reported as 0).
+std::vector<uint8_t> EncodeBusy(uint32_t retry_after_ms,
+                                uint32_t queue_depth = 0);
+bool DecodeBusy(std::span<const uint8_t> payload, uint32_t* retry_after_ms,
+                uint32_t* queue_depth = nullptr);
 
 }  // namespace qbs::server
 

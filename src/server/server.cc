@@ -6,34 +6,55 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <limits>
 #include <thread>
+
+#include "core/sketch.h"
 
 namespace qbs::server {
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 uint64_t NowNanos() {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
+          Clock::now().time_since_epoch())
           .count());
 }
 
-/// Writes all of `data` to `fd`, riding out EINTR and short writes.
-bool WriteAll(int fd, const uint8_t* data, size_t size) {
-  size_t sent = 0;
-  while (sent < size) {
-    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
+int64_t RemainingMs(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  return left < 0 ? 0 : left;
 }
+
+/// Tracks one request's deadline budget from the moment its frame was
+/// decoded. With no deadline, Expired() is always false and RemainingMs()
+/// unbounded.
+class DeadlineTracker {
+ public:
+  explicit DeadlineTracker(uint32_t deadline_ms)
+      : bounded_(deadline_ms != kNoDeadline),
+        deadline_(Clock::now() + std::chrono::milliseconds(
+                                     bounded_ ? deadline_ms : 0)) {}
+
+  bool bounded() const { return bounded_; }
+  bool Expired() const { return bounded_ && Clock::now() >= deadline_; }
+  /// Admission-wait budget: -1 (wait forever) when unbounded.
+  int64_t RemainingForWaitMs() const {
+    return bounded_ ? qbs::server::RemainingMs(deadline_) : -1;
+  }
+
+ private:
+  const bool bounded_;
+  const Clock::time_point deadline_;
+};
 
 }  // namespace
 
@@ -43,23 +64,40 @@ AdmissionGate::AdmissionGate(size_t max_inflight, size_t max_queue)
     : max_inflight_(max_inflight == 0 ? 1 : max_inflight),
       max_queue_(max_queue) {}
 
-AdmissionGate::Ticket AdmissionGate::Acquire() {
+AdmissionGate::Ticket AdmissionGate::Acquire(size_t* queue_depth) {
+  return AcquireFor(-1, queue_depth);
+}
+
+AdmissionGate::Ticket AdmissionGate::AcquireFor(int64_t timeout_ms,
+                                                size_t* queue_depth) {
   std::unique_lock<std::mutex> lock(mu_);
-  if (shutdown_) return Ticket::kShutdown;
+  const auto report = [&](Ticket t) {
+    if (queue_depth != nullptr) *queue_depth = waiters_;
+    return t;
+  };
+  if (shutdown_) return report(Ticket::kShutdown);
   if (inflight_ < max_inflight_) {
     ++inflight_;
-    return Ticket::kAdmitted;
+    return report(Ticket::kAdmitted);
   }
-  if (waiters_ >= max_queue_) {
+  if (waiters_ >= max_queue_ || timeout_ms == 0) {
     ++rejected_;
-    return Ticket::kRejected;
+    return report(Ticket::kRejected);
   }
   ++waiters_;
-  cv_.wait(lock, [&] { return shutdown_ || inflight_ < max_inflight_; });
+  const auto admissible = [&] { return shutdown_ || inflight_ < max_inflight_; };
+  bool woke = true;
+  if (timeout_ms < 0) {
+    cv_.wait(lock, admissible);
+  } else {
+    woke = cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                        admissible);
+  }
   --waiters_;
-  if (shutdown_) return Ticket::kShutdown;
+  if (shutdown_) return report(Ticket::kShutdown);
+  if (!woke) return report(Ticket::kTimedOut);
   ++inflight_;
-  return Ticket::kAdmitted;
+  return report(Ticket::kAdmitted);
 }
 
 void AdmissionGate::Release() {
@@ -81,6 +119,11 @@ void AdmissionGate::Shutdown() {
 size_t AdmissionGate::inflight() const {
   std::lock_guard<std::mutex> lock(mu_);
   return inflight_;
+}
+
+size_t AdmissionGate::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiters_;
 }
 
 uint64_t AdmissionGate::rejected() const {
@@ -148,17 +191,15 @@ bool QueryServer::Start(std::string* error) {
 }
 
 void QueryServer::RequestStop() {
-  bool first = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!stop_requested_) {
-      stop_requested_ = true;
-      first = true;
-    }
+    if (stop_requested_) return;
+    stop_requested_ = true;
+    stopping_.store(true, std::memory_order_release);
+    // Notified under mu_ so a woken Wait()/WaitFor() caller cannot return
+    // and destroy the server (and this cv) before the broadcast finishes.
+    stop_cv_.notify_all();
   }
-  if (!first) return;
-  stopping_.store(true, std::memory_order_release);
-  stop_cv_.notify_all();
   gate_.Shutdown();
   // Wake the accept loop (shutdown on a listening socket unblocks accept()
   // on Linux) and every blocked connection recv.
@@ -218,61 +259,103 @@ void QueryServer::AcceptLoop() {
       ::close(fd);
       continue;
     }
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t conn_id =
+        connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::thread([this, fd] { HandleConnection(fd); }).detach();
+    std::thread([this, fd, conn_id] { HandleConnection(fd, conn_id); })
+        .detach();
   }
 }
 
-void QueryServer::HandleConnection(int fd) {
-  FrameReader reader(options_.max_request_payload);
-  uint8_t buf[64 * 1024];
-  bool open = true;
-  while (open && !stopping_.load(std::memory_order_acquire)) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // peer closed or socket shut down
-    reader.Feed(std::span<const uint8_t>(buf, static_cast<size_t>(n)));
-    Frame frame;
-    for (;;) {
-      const FrameReader::Status status = reader.Next(&frame);
-      if (status == FrameReader::Status::kNeedMore) break;
-      if (status == FrameReader::Status::kBad) {
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-        const std::vector<uint8_t> payload =
-            EncodeError(ErrorCode::kBadRequest, reader.error());
-        SendFrame(fd, FrameType::kError, payload);
-        open = false;
+void QueryServer::HandleConnection(int fd, uint64_t conn_id) {
+  {
+    // Scoped so the Socket closes fd before the bookkeeping below runs:
+    // Stop() must not observe active_connections_ == 0 while the fd is
+    // still open (and conn_fds_ must not reference a closed fd).
+    Socket sock(fd);
+    std::unique_ptr<FaultInjector> injector;
+    if (options_.fault_injector_factory) {
+      injector = options_.fault_injector_factory(conn_id);
+      sock.set_fault_injector(injector.get());
+    }
+    FrameReader reader(options_.max_request_payload);
+    uint8_t buf[64 * 1024];
+    bool open = true;
+    // The per-frame read deadline starts when a frame's first bytes land
+    // and is re-armed after each decoded frame — so a slowloris trickling
+    // a request byte-by-byte cannot extend it.
+    Clock::time_point frame_start{};
+    while (open && !stopping_.load(std::memory_order_acquire)) {
+      const bool mid_frame = reader.PendingBytes() > 0;
+      int32_t timeout = kNoTimeout;
+      if (mid_frame) {
+        if (options_.read_timeout_ms > 0) {
+          const int64_t left = RemainingMs(
+              frame_start + std::chrono::milliseconds(options_.read_timeout_ms));
+          timeout = static_cast<int32_t>(left);
+        }
+      } else if (options_.idle_timeout_ms > 0) {
+        timeout = static_cast<int32_t>(options_.idle_timeout_ms);
+      }
+      size_t n = 0;
+      const IoStatus status = sock.RecvSome(buf, sizeof(buf), &n, timeout);
+      if (status == IoStatus::kTimeout) {
+        if (mid_frame) {
+          read_timeouts_.fetch_add(1, std::memory_order_relaxed);
+          // Best-effort notice (the write itself is bounded), then cut the
+          // slow peer off — framing can't resume mid-request anyway.
+          SendError(sock, ErrorCode::kBadRequest,
+                    "request frame timed out mid-read");
+        } else {
+          idle_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        }
         break;
       }
-      if (!HandleFrame(fd, frame)) {
-        open = false;
-        break;
+      if (status != IoStatus::kOk) break;  // peer closed, reset, or shut down
+      if (!mid_frame) frame_start = Clock::now();
+      reader.Feed(std::span<const uint8_t>(buf, n));
+      Frame frame;
+      for (;;) {
+        const FrameReader::Status frame_status = reader.Next(&frame);
+        if (frame_status == FrameReader::Status::kNeedMore) break;
+        if (frame_status == FrameReader::Status::kBad) {
+          protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+          SendError(sock, ErrorCode::kBadRequest, reader.error());
+          open = false;
+          break;
+        }
+        if (!HandleFrame(sock, injector.get(), frame)) {
+          open = false;
+          break;
+        }
+        frame_start = Clock::now();  // re-arm for the next frame's bytes
       }
     }
   }
-  ::close(fd);
   {
     std::lock_guard<std::mutex> lock(mu_);
     conn_fds_.erase(fd);
     --active_connections_;
+    // Notified under mu_: once the count hits zero a Stop() waiter may
+    // destroy the server, so the broadcast must complete before the lock
+    // — and with it the waiter's ability to proceed — is released.
+    drain_cv_.notify_all();
   }
-  drain_cv_.notify_all();
 }
 
-bool QueryServer::HandleFrame(int fd, const Frame& frame) {
+bool QueryServer::HandleFrame(Socket& sock, FaultInjector* injector,
+                              const Frame& frame) {
   switch (frame.type) {
     case FrameType::kPing:
-      return SendFrame(fd, FrameType::kPong, {});
+      return SendFrame(sock, FrameType::kPong, {});
     case FrameType::kShutdown: {
       if (!options_.allow_remote_shutdown) {
         bad_requests_.fetch_add(1, std::memory_order_relaxed);
-        const std::vector<uint8_t> payload = EncodeError(
-            ErrorCode::kBadRequest, "remote shutdown not permitted");
-        return SendFrame(fd, FrameType::kError, payload);
+        return SendError(sock, ErrorCode::kBadRequest,
+                         "remote shutdown not permitted");
       }
-      SendFrame(fd, FrameType::kShutdownAck, {});
+      SendFrame(sock, FrameType::kShutdownAck, {});
       RequestStop();
       return false;
     }
@@ -280,49 +363,84 @@ bool QueryServer::HandleFrame(int fd, const Frame& frame) {
       QueryRequest request;
       if (!DecodeQueryRequest(frame.payload, &request)) {
         bad_requests_.fetch_add(1, std::memory_order_relaxed);
-        const std::vector<uint8_t> payload =
-            EncodeError(ErrorCode::kBadRequest, "malformed query payload");
-        return SendFrame(fd, FrameType::kError, payload);
+        return SendError(sock, ErrorCode::kBadRequest,
+                         "malformed query payload");
       }
       if (request.u >= num_vertices_ || request.v >= num_vertices_) {
         bad_requests_.fetch_add(1, std::memory_order_relaxed);
-        const std::vector<uint8_t> payload = EncodeError(
-            ErrorCode::kVertexOutOfRange,
-            "vertex id out of range (|V| = " +
-                std::to_string(num_vertices_) + ")");
-        return SendFrame(fd, FrameType::kError, payload);
+        return SendError(sock, ErrorCode::kVertexOutOfRange,
+                         "vertex id out of range (|V| = " +
+                             std::to_string(num_vertices_) + ")");
       }
-      return ServeQuery(fd, request);
+      return ServeQuery(sock, injector, request);
     }
     default: {
       // A structurally valid frame the server has no business receiving
       // (e.g. a kQueryResponse). Answer with an error but keep the
       // connection: framing is intact.
       bad_requests_.fetch_add(1, std::memory_order_relaxed);
-      const std::vector<uint8_t> payload = EncodeError(
-          ErrorCode::kBadRequest,
-          "unexpected frame type " +
-              std::to_string(static_cast<unsigned>(frame.type)));
-      return SendFrame(fd, FrameType::kError, payload);
+      return SendError(sock, ErrorCode::kBadRequest,
+                       "unexpected frame type " +
+                           std::to_string(static_cast<unsigned>(frame.type)));
     }
   }
 }
 
-bool QueryServer::ServeQuery(int fd, const QueryRequest& request) {
-  switch (gate_.Acquire()) {
+bool QueryServer::ServeQuery(Socket& sock, FaultInjector* injector,
+                             const QueryRequest& request) {
+  const DeadlineTracker deadline(request.deadline_ms);
+  // Boundary 1: on receipt. deadline_ms == 0 ("already expired") lands
+  // here — the request is never executed.
+  if (deadline.Expired()) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    return SendError(sock, ErrorCode::kDeadlineExceeded,
+                     "deadline expired before execution");
+  }
+
+  // Graceful degradation: past the saturation threshold, answer from the
+  // labelling alone instead of joining the admission queue.
+  if (options_.degrade_after_inflight > 0 &&
+      gate_.inflight() >= options_.degrade_after_inflight) {
+    return ServeDegraded(sock, request);
+  }
+
+  size_t queue_depth = 0;
+  switch (gate_.AcquireFor(deadline.RemainingForWaitMs(), &queue_depth)) {
     case AdmissionGate::Ticket::kRejected: {
       busy_rejections_.fetch_add(1, std::memory_order_relaxed);
-      const std::vector<uint8_t> payload = EncodeBusy(options_.busy_retry_ms);
-      return SendFrame(fd, FrameType::kBusy, payload);
-    }
-    case AdmissionGate::Ticket::kShutdown: {
       const std::vector<uint8_t> payload =
-          EncodeError(ErrorCode::kShuttingDown, "server shutting down");
-      SendFrame(fd, FrameType::kError, payload);
+          EncodeBusy(options_.busy_retry_ms,
+                     static_cast<uint32_t>(std::min<size_t>(
+                         queue_depth, std::numeric_limits<uint32_t>::max())));
+      return SendFrame(sock, FrameType::kBusy, payload);
+    }
+    case AdmissionGate::Ticket::kTimedOut:
+      // Boundary 2: the admission wait consumed the whole budget.
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      return SendError(sock, ErrorCode::kDeadlineExceeded,
+                       "deadline expired waiting for admission");
+    case AdmissionGate::Ticket::kShutdown: {
+      SendError(sock, ErrorCode::kShuttingDown, "server shutting down");
       return false;
     }
     case AdmissionGate::Ticket::kAdmitted:
       break;
+  }
+
+  // Injected query slowness (chaos lever): the sleep holds the admission
+  // slot, exactly like a genuinely slow query would.
+  if (injector != nullptr) {
+    const uint32_t delay_ms = injector->OnQueryDelayMs();
+    if (delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+  }
+  // Boundary 3: after any slowness, just before execution.
+  if (deadline.Expired()) {
+    gate_.Release();
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    return SendError(sock, ErrorCode::kDeadlineExceeded,
+                     "deadline expired before execution");
   }
 
   const uint64_t start = NowNanos();
@@ -352,22 +470,84 @@ bool QueryServer::ServeQuery(int fd, const QueryRequest& request) {
   }
 
   const std::vector<uint8_t> payload = EncodeQueryResponse(response);
-  return SendFrame(fd, FrameType::kQueryResponse, payload);
+  return SendFrame(sock, FrameType::kQueryResponse, payload);
 }
 
-bool QueryServer::SendFrame(int fd, FrameType type,
+bool QueryServer::ServeDegraded(Socket& sock, const QueryRequest& request) {
+  const uint64_t start = NowNanos();
+  QueryResponse response;
+  // A cache hit is cheaper than the label scan and exact — serve it even
+  // under saturation.
+  const bool cacheable = options_.cache_bytes > 0 &&
+                         (request.flags & kQueryFlagNoCache) == 0;
+  if (cacheable && cache_.Lookup(request, &response)) {
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    lat_cached_.Record(NowNanos() - start);
+    const std::vector<uint8_t> payload = EncodeQueryResponse(response);
+    return SendFrame(sock, FrameType::kQueryResponse, payload);
+  }
+
+  response.spg.u = request.u;
+  response.spg.v = request.v;
+  response.spg.edges.clear();
+  if (request.u == request.v) {
+    // Trivially exact, no searcher needed: identical to the fault-free
+    // answer, so no degraded flag.
+    response.spg.distance = 0;
+  } else {
+    const LabelBound bound = ComputeLabelBound(
+        index_.labeling(), index_.meta_graph(), request.u, request.v);
+    if (request.mode == QueryMode::kDistance && request.budget == 0 &&
+        bound.upper != kUnreachable && bound.lower == bound.upper) {
+      // The labels certify the distance exactly and the caller wanted only
+      // the distance: this IS the fault-free answer (Execute would have
+      // short-circuited the same way), so serve it undegraded.
+      response.spg.distance = bound.upper;
+    } else {
+      response.spg.distance = bound.upper;
+      response.degraded_lower = bound.lower;
+      response.flags |= kResponseFlagDegraded;
+    }
+  }
+  // Degraded answers are NEVER cached: the cache must only ever replay
+  // exact payloads.
+  if ((response.flags & kResponseFlagDegraded) != 0) {
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    if (cacheable) cache_.Insert(request, response);
+  }
+  lat_short_.Record(NowNanos() - start);
+  const std::vector<uint8_t> payload = EncodeQueryResponse(response);
+  return SendFrame(sock, FrameType::kQueryResponse, payload);
+}
+
+bool QueryServer::SendFrame(Socket& sock, FrameType type,
                             std::span<const uint8_t> payload) {
   std::vector<uint8_t> frame;
   AppendFrame(&frame, type, payload);
-  return WriteAll(fd, frame.data(), frame.size());
+  const int32_t timeout = options_.write_timeout_ms == 0
+                              ? kNoTimeout
+                              : static_cast<int32_t>(options_.write_timeout_ms);
+  return sock.SendAll(frame, timeout) == IoStatus::kOk;
+}
+
+bool QueryServer::SendError(Socket& sock, ErrorCode code,
+                            const std::string& message) {
+  const std::vector<uint8_t> payload = EncodeError(code, message);
+  return SendFrame(sock, FrameType::kError, payload);
 }
 
 QueryServer::StatsSnapshot QueryServer::GetStats() const {
   StatsSnapshot snap;
   snap.queries = queries_.load(std::memory_order_relaxed);
   snap.busy_rejections = busy_rejections_.load(std::memory_order_relaxed);
+  snap.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  snap.degraded = degraded_.load(std::memory_order_relaxed);
   snap.bad_requests = bad_requests_.load(std::memory_order_relaxed);
   snap.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  snap.read_timeouts = read_timeouts_.load(std::memory_order_relaxed);
+  snap.idle_timeouts = idle_timeouts_.load(std::memory_order_relaxed);
   snap.connections_accepted =
       connections_accepted_.load(std::memory_order_relaxed);
   snap.connections_rejected =
@@ -376,6 +556,8 @@ QueryServer::StatsSnapshot QueryServer::GetStats() const {
     std::lock_guard<std::mutex> lock(mu_);
     snap.active_connections = active_connections_;
   }
+  snap.admission_inflight = gate_.inflight();
+  snap.admission_queue_depth = gate_.queue_depth();
   snap.cache = cache_.GetStats();
   snap.lat_cached = lat_cached_.GetSnapshot();
   snap.lat_short = lat_short_.GetSnapshot();

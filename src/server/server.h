@@ -1,23 +1,40 @@
 // `qbs serve` — the long-lived query daemon. Loads a QbsIndex once and
 // serves concurrent QueryRequest frames (server/protocol.h) over TCP,
-// thread-per-connection, with three serving-layer guarantees:
+// thread-per-connection, with the serving-layer guarantees:
 //
 //   * Hot-pair caching — every cacheable request consults the sharded LRU
 //     ResultCache before touching a searcher; hits replay the payload
 //     bit-identically with the cache_hit bit set.
 //   * Admission control — at most max_inflight queries execute at once
 //     (bounding the SearcherLease pool and memory), at most max_queue more
-//     wait; beyond that the daemon answers kBusy immediately instead of
-//     building an unbounded backlog (backpressure, not collapse).
+//     wait; beyond that the daemon answers kBusy (with the observed queue
+//     depth) immediately instead of building an unbounded backlog.
+//   * Deadlines — a request's deadline_ms is enforced at every admission
+//     boundary: on receipt, after an admission wait (the wait itself is
+//     capped at the remaining budget), and after any injected slowness. A
+//     request whose budget ran out is answered kDeadlineExceeded, never
+//     executed late.
+//   * Timeouts — all socket I/O is poll-bounded (server/socket.h): a peer
+//     stalling mid-frame is cut off after read_timeout_ms (slowloris
+//     defense), a connection idle between requests is reaped after
+//     idle_timeout_ms, and a peer not draining responses is cut off after
+//     write_timeout_ms. No stalled client can pin a connection thread.
+//   * Graceful degradation — past degrade_after_inflight executing
+//     queries, new queries are answered from the labelling alone
+//     (kResponseFlagDegraded bounds, O(|R|), no searcher, no queueing)
+//     instead of deepening the backlog.
 //   * Observability — per-class latency histograms (cache hits; label
-//     short-circuits, the d <= 2 class; long guided searches) expose
-//     p50/p99/p999 split by the work a query actually did.
+//     short-circuits; long guided searches) plus counters for every
+//     robustness path (busy, deadline-exceeded, degraded, timeouts).
 //
 // Shutdown is cooperative and clean: a kShutdown frame (when permitted) or
 // RequestStop() stops the accept loop, wakes admission waiters, shuts down
 // every connection socket, and Stop() joins/waits until the last
 // connection thread exits — no leaked threads, sockets, or searchers
-// (ASan/TSan-clean by test).
+// (ASan/TSan-clean by test). Fault injection (server/fault_injection.h)
+// hooks each connection's socket and query execution through
+// ServerOptions::fault_injector_factory; chaos_test drives every failure
+// path above through real loopback connections.
 
 #ifndef QBS_SERVER_SERVER_H_
 #define QBS_SERVER_SERVER_H_
@@ -25,6 +42,8 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -32,21 +51,24 @@
 #include <vector>
 
 #include "core/qbs_index.h"
+#include "server/fault_injection.h"
 #include "server/latency_histogram.h"
 #include "server/protocol.h"
 #include "server/result_cache.h"
+#include "server/socket.h"
 
 namespace qbs::server {
 
 /// Bounded-concurrency admission: Acquire() either admits immediately,
-/// waits (if the bounded wait queue has room), or rejects. Exposed
-/// separately from the server so backpressure semantics are unit-testable
-/// without sockets.
+/// waits (if the bounded wait queue has room, optionally up to a caller
+/// deadline), or rejects. Exposed separately from the server so
+/// backpressure semantics are unit-testable without sockets.
 class AdmissionGate {
  public:
   enum class Ticket {
     kAdmitted,  // caller may run; must Release() exactly once
     kRejected,  // queue full — answer kBusy, do NOT Release()
+    kTimedOut,  // wait exceeded the caller's budget — do NOT Release()
     kShutdown,  // gate shut down while waiting — do NOT Release()
   };
 
@@ -54,13 +76,20 @@ class AdmissionGate {
   /// `max_queue` further callers block in FIFO-wakeup order.
   AdmissionGate(size_t max_inflight, size_t max_queue);
 
-  Ticket Acquire();
+  /// Waits without bound. `queue_depth` (optional) receives the number of
+  /// waiters observed at the decision point — the backlog a kBusy answer
+  /// reports to the client.
+  Ticket Acquire(size_t* queue_depth = nullptr);
+  /// As Acquire(), but a queued caller gives up after `timeout_ms`
+  /// (negative = wait forever; 0 = never queue, admit-or-reject only).
+  Ticket AcquireFor(int64_t timeout_ms, size_t* queue_depth = nullptr);
   void Release();
   /// Wakes every waiter with kShutdown; subsequent Acquires return
   /// kShutdown immediately.
   void Shutdown();
 
   size_t inflight() const;
+  size_t queue_depth() const;
   uint64_t rejected() const;
 
  private:
@@ -95,6 +124,26 @@ struct ServerOptions {
   bool allow_remote_shutdown = true;
   /// Per-frame payload cap for request parsing.
   uint32_t max_request_payload = kMaxRequestPayload;
+
+  /// Max milliseconds a started request frame may take to arrive in full
+  /// (slowloris defense); 0 = unbounded.
+  uint32_t read_timeout_ms = 5000;
+  /// Max milliseconds a connection may sit idle between requests before
+  /// the reaper closes it; 0 = unbounded.
+  uint32_t idle_timeout_ms = 60000;
+  /// Max milliseconds a response write may stall on an undraining peer;
+  /// 0 = unbounded.
+  uint32_t write_timeout_ms = 5000;
+  /// Graceful degradation threshold: when at least this many queries are
+  /// executing, new queries are answered with label-only bounds
+  /// (kResponseFlagDegraded) instead of queueing. 0 = never degrade.
+  size_t degrade_after_inflight = 0;
+
+  /// Test hook: builds one FaultInjector per accepted connection (keyed by
+  /// the connection counter) and attaches it to the connection's socket
+  /// and query execution. Production servers leave this empty.
+  std::function<std::unique_ptr<FaultInjector>(uint64_t connection_id)>
+      fault_injector_factory;
 };
 
 class QueryServer {
@@ -130,11 +179,17 @@ class QueryServer {
   struct StatsSnapshot {
     uint64_t queries = 0;            // executed or cache-answered
     uint64_t busy_rejections = 0;    // kBusy answers (admission)
+    uint64_t deadline_exceeded = 0;  // kDeadlineExceeded answers
+    uint64_t degraded = 0;           // label-only degraded answers
     uint64_t bad_requests = 0;       // decode/validation errors answered
     uint64_t protocol_errors = 0;    // corrupt streams (connection dropped)
+    uint64_t read_timeouts = 0;      // mid-frame stalls cut off
+    uint64_t idle_timeouts = 0;      // idle connections reaped
     uint64_t connections_accepted = 0;
     uint64_t connections_rejected = 0;  // over max_connections
     size_t active_connections = 0;
+    size_t admission_inflight = 0;     // gauge: queries executing right now
+    size_t admission_queue_depth = 0;  // gauge: admission waiters right now
     ResultCache::Stats cache;
     LatencyHistogram::Snapshot lat_cached;  // served from the result cache
     LatencyHistogram::Snapshot lat_short;   // label short-circuit / no-scan
@@ -144,14 +199,21 @@ class QueryServer {
 
  private:
   void AcceptLoop();
-  void HandleConnection(int fd);
+  void HandleConnection(int fd, uint64_t conn_id);
   /// Handles one decoded frame; returns false when the connection should
   /// close (shutdown, write failure).
-  bool HandleFrame(int fd, const Frame& frame);
+  bool HandleFrame(Socket& sock, FaultInjector* injector, const Frame& frame);
   /// Executes (or cache-answers) one admitted query and sends the
   /// response; records latency in the matching class histogram.
-  bool ServeQuery(int fd, const QueryRequest& request);
-  bool SendFrame(int fd, FrameType type, std::span<const uint8_t> payload);
+  bool ServeQuery(Socket& sock, FaultInjector* injector,
+                  const QueryRequest& request);
+  /// Answers from the labelling alone — no searcher, no admission — with
+  /// kResponseFlagDegraded bounds (or an exact label-certified distance
+  /// when one exists).
+  bool ServeDegraded(Socket& sock, const QueryRequest& request);
+  bool SendFrame(Socket& sock, FrameType type,
+                 std::span<const uint8_t> payload);
+  bool SendError(Socket& sock, ErrorCode code, const std::string& message);
 
   QbsIndex& index_;
   const ServerOptions options_;
@@ -177,8 +239,12 @@ class QueryServer {
 
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> busy_rejections_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> degraded_{0};
   std::atomic<uint64_t> bad_requests_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> read_timeouts_{0};
+  std::atomic<uint64_t> idle_timeouts_{0};
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_rejected_{0};
   LatencyHistogram lat_cached_;

@@ -53,7 +53,7 @@ std::vector<TimedQuery> GenerateWorkload(const Graph& g,
 
     TimedQuery q;
     q.request = QueryRequest(pair.u, pair.v, options.mode, options.budget,
-                             options.flags);
+                             options.flags, options.deadline_ms);
     if (base_qps > 0.0) {
       const bool burst = (i / phase_len) % 2 == 1;
       const double rate =

@@ -35,6 +35,10 @@ struct WorkloadOptions {
   QueryMode mode = QueryMode::kSpg;
   uint32_t budget = 0;
   uint32_t flags = 0;
+  /// Per-request relative deadline stamped into every request
+  /// (kNoDeadline = none — the server answers kDeadlineExceeded for
+  /// requests it cannot start in time).
+  uint32_t deadline_ms = kNoDeadline;
   uint64_t seed = 42;
 
   /// Mean arrival rate in queries/second. 0 = closed loop: every

@@ -223,6 +223,98 @@ TEST(ProtocolTest, QueryResponseCodecRejectsMalformed) {
   }
 }
 
+TEST(ProtocolTest, QueryRequestCodecCarriesDeadline) {
+  QueryRequest request(7, 8, QueryMode::kSpg, 0, 0, /*deadline_ms_in=*/250);
+  QueryRequest decoded;
+  ASSERT_TRUE(DecodeQueryRequest(EncodeQueryRequest(request), &decoded));
+  EXPECT_EQ(decoded.deadline_ms, 250u);
+  EXPECT_EQ(decoded, request);
+  // deadline 0 ("already expired") is a real value, distinct from the
+  // kNoDeadline default.
+  request.deadline_ms = 0;
+  ASSERT_TRUE(DecodeQueryRequest(EncodeQueryRequest(request), &decoded));
+  EXPECT_EQ(decoded.deadline_ms, 0u);
+}
+
+TEST(ProtocolTest, QueryRequestCodecAcceptsLegacy20ByteLayout) {
+  // A pre-deadline client sends 20 bytes; it must decode with no deadline.
+  auto payload = EncodeQueryRequest(QueryRequest(11, 22, QueryMode::kDistance,
+                                                 /*budget_in=*/3,
+                                                 /*flags_in=*/0,
+                                                 /*deadline_ms_in=*/99));
+  ASSERT_EQ(payload.size(), 24u);
+  payload.resize(20);
+  QueryRequest decoded;
+  ASSERT_TRUE(DecodeQueryRequest(payload, &decoded));
+  EXPECT_EQ(decoded.u, 11u);
+  EXPECT_EQ(decoded.v, 22u);
+  EXPECT_EQ(decoded.mode, QueryMode::kDistance);
+  EXPECT_EQ(decoded.budget, 3u);
+  EXPECT_EQ(decoded.deadline_ms, kNoDeadline);
+}
+
+TEST(ProtocolTest, DegradedResponseCodecRoundTripsTheLowerBound) {
+  QueryResponse response;
+  response.spg.u = 4;
+  response.spg.v = 17;
+  response.spg.distance = 9;  // upper bound
+  response.flags = kResponseFlagDegraded;
+  response.degraded_lower = 6;
+
+  const auto payload = EncodeQueryResponse(response);
+  QueryResponse decoded;
+  ASSERT_TRUE(DecodeQueryResponse(payload, &decoded));
+  EXPECT_TRUE(decoded.degraded());
+  EXPECT_EQ(decoded.degraded_lower, 6u);
+  EXPECT_EQ(decoded.distance(), 9u);
+  EXPECT_TRUE(SameAnswer(decoded, response));
+
+  // The trailing bound is gated by the flag: with the flag set but the
+  // tail missing (or doubled), the payload is malformed, never misread.
+  QueryResponse out;
+  {
+    auto missing_tail = payload;
+    missing_tail.resize(missing_tail.size() - 4);
+    EXPECT_FALSE(DecodeQueryResponse(missing_tail, &out));
+  }
+  {
+    auto extra_tail = payload;
+    extra_tail.insert(extra_tail.end(), {0, 0, 0, 0});
+    EXPECT_FALSE(DecodeQueryResponse(extra_tail, &out));
+  }
+  // And an undegraded response must not carry a tail.
+  QueryResponse plain;
+  plain.spg.u = 1;
+  plain.spg.v = 2;
+  plain.spg.distance = 1;
+  auto plain_payload = EncodeQueryResponse(plain);
+  plain_payload.insert(plain_payload.end(), {1, 2, 3, 4});
+  EXPECT_FALSE(DecodeQueryResponse(plain_payload, &out));
+}
+
+TEST(ProtocolTest, BusyCodecCarriesQueueDepthAndAcceptsLegacy) {
+  const auto payload = EncodeBusy(/*retry_after_ms=*/40, /*queue_depth=*/7);
+  ASSERT_EQ(payload.size(), 8u);
+  uint32_t retry = 0;
+  uint32_t depth = 0;
+  ASSERT_TRUE(DecodeBusy(payload, &retry, &depth));
+  EXPECT_EQ(retry, 40u);
+  EXPECT_EQ(depth, 7u);
+  // Depth out-param is optional.
+  ASSERT_TRUE(DecodeBusy(payload, &retry));
+  // Legacy 4-byte hint-only payload decodes with depth 0.
+  auto legacy = payload;
+  legacy.resize(4);
+  depth = 123;
+  ASSERT_TRUE(DecodeBusy(legacy, &retry, &depth));
+  EXPECT_EQ(retry, 40u);
+  EXPECT_EQ(depth, 0u);
+  // Anything else is malformed.
+  auto bad = payload;
+  bad.resize(6);
+  EXPECT_FALSE(DecodeBusy(bad, &retry, &depth));
+}
+
 TEST(ProtocolTest, ErrorCodecRoundTrip) {
   const auto payload = EncodeError(ErrorCode::kVertexOutOfRange, "nope");
   ErrorCode code = ErrorCode::kInternal;

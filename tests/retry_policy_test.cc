@@ -1,0 +1,107 @@
+// RetryPolicy / RetryBackoff determinism and shape: the backoff schedule
+// is a pure function of (policy, retry index) — same seed, same schedule,
+// every run — honors the server's retry_after hint as a floor, and stays
+// inside [0, max_backoff * (1 + jitter)].
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/client.h"
+
+namespace qbs::server {
+namespace {
+
+std::vector<uint32_t> Schedule(const RetryPolicy& policy, uint32_t retries,
+                               uint32_t hint = 0) {
+  const RetryBackoff backoff(policy);
+  std::vector<uint32_t> delays;
+  for (uint32_t i = 0; i < retries; ++i) {
+    delays.push_back(backoff.DelayMs(i, hint));
+  }
+  return delays;
+}
+
+TEST(RetryBackoffTest, SameSeedSameSchedule) {
+  RetryPolicy policy;
+  policy.seed = 0xDEADBEEFull;
+  policy.base_backoff_ms = 10;
+  policy.max_backoff_ms = 1000;
+  policy.jitter = 0.3;
+  EXPECT_EQ(Schedule(policy, 16), Schedule(policy, 16));
+
+  // And a fresh RetryBackoff built from an equal policy replays it too
+  // (no hidden state anywhere).
+  RetryPolicy copy = policy;
+  EXPECT_EQ(Schedule(policy, 16), Schedule(copy, 16));
+}
+
+TEST(RetryBackoffTest, DifferentSeedsProduceDifferentJitter) {
+  RetryPolicy a;
+  a.seed = 1;
+  a.jitter = 0.5;
+  RetryPolicy b = a;
+  b.seed = 2;
+  EXPECT_NE(Schedule(a, 16), Schedule(b, 16));
+}
+
+TEST(RetryBackoffTest, GrowsExponentiallyWithinBounds) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 10;
+  policy.multiplier = 2.0;
+  policy.max_backoff_ms = 200;
+  policy.jitter = 0.0;  // exact growth, no jitter
+  const RetryBackoff backoff(policy);
+  EXPECT_EQ(backoff.DelayMs(0), 10u);
+  EXPECT_EQ(backoff.DelayMs(1), 20u);
+  EXPECT_EQ(backoff.DelayMs(2), 40u);
+  EXPECT_EQ(backoff.DelayMs(3), 80u);
+  EXPECT_EQ(backoff.DelayMs(4), 160u);
+  EXPECT_EQ(backoff.DelayMs(5), 200u);   // capped
+  EXPECT_EQ(backoff.DelayMs(20), 200u);  // stays capped, no overflow
+}
+
+TEST(RetryBackoffTest, JitterStaysWithinAmplitude) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 100;
+  policy.multiplier = 1.0;  // constant base isolates the jitter factor
+  policy.max_backoff_ms = 100;
+  policy.jitter = 0.2;
+  const RetryBackoff backoff(policy);
+  bool varied = false;
+  for (uint32_t i = 0; i < 64; ++i) {
+    const uint32_t d = backoff.DelayMs(i);
+    EXPECT_GE(d, 80u);
+    EXPECT_LE(d, 120u);
+    if (d != 100u) varied = true;
+  }
+  EXPECT_TRUE(varied);  // jitter actually jitters
+}
+
+TEST(RetryBackoffTest, ServerHintActsAsAFloor) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 10;
+  policy.jitter = 0.0;
+  const RetryBackoff backoff(policy);
+  // Early retries would sleep less than the server asked: the hint wins.
+  EXPECT_EQ(backoff.DelayMs(0, 500), 500u);
+  // Once the schedule passes the hint, the schedule wins.
+  EXPECT_EQ(backoff.DelayMs(8, 500), 1000u);
+}
+
+TEST(RetryBackoffTest, ZeroJitterScheduleIsHintMonotone) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 5;
+  policy.jitter = 0.0;
+  const RetryBackoff backoff(policy);
+  uint32_t prev = 0;
+  for (uint32_t i = 0; i < 12; ++i) {
+    const uint32_t d = backoff.DelayMs(i);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+}  // namespace
+}  // namespace qbs::server

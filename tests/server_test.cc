@@ -269,6 +269,119 @@ TEST(AdmissionGateTest, ShutdownWakesWaiters) {
   EXPECT_EQ(gate.Acquire(), AdmissionGate::Ticket::kShutdown);
 }
 
+TEST(AdmissionGateTest, AcquireForZeroNeverQueues) {
+  AdmissionGate gate(/*max_inflight=*/1, /*max_queue=*/8);
+  ASSERT_EQ(gate.AcquireFor(0), AdmissionGate::Ticket::kAdmitted);
+  // Queue has room, but a zero budget means admit-or-reject only.
+  EXPECT_EQ(gate.AcquireFor(0), AdmissionGate::Ticket::kRejected);
+  gate.Release();
+}
+
+TEST(AdmissionGateTest, AcquireForTimesOutWhenSlotNeverFrees) {
+  AdmissionGate gate(/*max_inflight=*/1, /*max_queue=*/4);
+  ASSERT_EQ(gate.Acquire(), AdmissionGate::Ticket::kAdmitted);
+  EXPECT_EQ(gate.AcquireFor(30), AdmissionGate::Ticket::kTimedOut);
+  gate.Release();
+  // The timed-out waiter left no residue: the slot is freely admissible.
+  EXPECT_EQ(gate.AcquireFor(30), AdmissionGate::Ticket::kAdmitted);
+  gate.Release();
+}
+
+TEST(AdmissionGateTest, RejectionReportsQueueDepth) {
+  AdmissionGate gate(/*max_inflight=*/1, /*max_queue=*/1);
+  ASSERT_EQ(gate.Acquire(), AdmissionGate::Ticket::kAdmitted);
+  std::thread waiter([&] {
+    EXPECT_EQ(gate.Acquire(), AdmissionGate::Ticket::kAdmitted);
+    gate.Release();
+  });
+  while (gate.queue_depth() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  size_t depth = 0;
+  EXPECT_EQ(gate.AcquireFor(0, &depth), AdmissionGate::Ticket::kRejected);
+  EXPECT_EQ(depth, 1u);  // the backlog a kBusy answer reports
+  gate.Release();
+  waiter.join();
+}
+
+TEST_F(ServerTest, DeadlineZeroIsAnsweredDeadlineExceededImmediately) {
+  auto server = StartServer();
+  QueryClient client = ConnectTo(*server);
+  QueryResponse response;
+  QueryRequest request(1, 400);
+  request.deadline_ms = 0;  // "already expired": must never execute
+  EXPECT_EQ(client.Query(request, &response),
+            QueryClient::RpcStatus::kDeadlineExceeded);
+  EXPECT_EQ(client.last_error_code(), ErrorCode::kDeadlineExceeded);
+  // The connection survives and the request was not executed or cached.
+  const auto stats = server->GetStats();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.queries, 0u);
+  request.deadline_ms = kNoDeadline;
+  ASSERT_EQ(client.Query(request, &response), QueryClient::RpcStatus::kOk);
+  EXPECT_FALSE(response.cache_hit);
+}
+
+TEST_F(ServerTest, GenerousDeadlineAnswersIdenticallyToNoDeadline) {
+  auto server = StartServer();
+  QueryClient client = ConnectTo(*server);
+  for (const auto& [u, v] : SampleQueryPairs(g_, 20, 21)) {
+    QueryRequest no_deadline(u, v, QueryMode::kSpg, 0, kQueryFlagNoCache);
+    QueryRequest generous = no_deadline;
+    generous.deadline_ms = 60000;
+    QueryResponse a, b;
+    ASSERT_EQ(client.Query(no_deadline, &a), QueryClient::RpcStatus::kOk);
+    ASSERT_EQ(client.Query(generous, &b), QueryClient::RpcStatus::kOk);
+    EXPECT_TRUE(SameAnswer(a, b)) << u << "," << v;
+  }
+  EXPECT_EQ(server->GetStats().deadline_exceeded, 0u);
+}
+
+TEST_F(ServerTest, BusyResponseCarriesQueueDepth) {
+  ServerOptions options;
+  options.max_inflight = 1;
+  options.max_queue = 1;
+  // Every admitted query sleeps, so the slot and the one queue seat fill
+  // up and stay full while the probe arrives.
+  const FaultPlan plan([] {
+    FaultSpec spec;
+    spec.query_delay_rate = 1.0;
+    spec.query_delay_ms = 400;
+    return spec;
+  }());
+  options.fault_injector_factory = [&plan](uint64_t conn_id) {
+    return plan.MakeInjector(conn_id);
+  };
+  auto server = StartServer(options);
+
+  std::vector<std::thread> hogs;
+  for (int i = 0; i < 2; ++i) {
+    hogs.emplace_back([&, i] {
+      QueryClient hog;
+      if (!hog.Connect("127.0.0.1", server->port())) return;
+      QueryResponse ignored;
+      QueryRequest slow(1, 2 + i, QueryMode::kSpg, 0, kQueryFlagNoCache);
+      hog.Query(slow, &ignored);
+    });
+  }
+  // Wait until one hog is executing (sleeping in the injector) and the
+  // other occupies the single queue seat — only then is kBusy guaranteed.
+  for (;;) {
+    const auto stats = server->GetStats();
+    if (stats.admission_inflight >= 1 && stats.admission_queue_depth >= 1) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  QueryClient probe = ConnectTo(*server);
+  QueryResponse response;
+  QueryRequest request(5, 6, QueryMode::kSpg, 0, kQueryFlagNoCache);
+  EXPECT_EQ(probe.Query(request, &response), QueryClient::RpcStatus::kBusy);
+  EXPECT_EQ(probe.busy_queue_depth(), 1u);  // the queued hog
+  for (auto& h : hogs) h.join();
+  server->Stop();
+}
+
 TEST_F(ServerTest, ServedWorkloadHitRateIsDeterministic) {
   // Same seed, fresh server, single connection => exactly the same
   // hit-rate (the workload and the LRU are both deterministic).

@@ -36,6 +36,7 @@
 //   qbs serve graph.edges index.qbs --port 7471 &
 //   qbs load  graph.edges 127.0.0.1 7471 --queries 20000 --shutdown
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -82,10 +83,13 @@ int Usage() {
       "[--max-inflight N] [--max-queue N]\n"
       "                 [--max-conns N] [--cache-mb MB] "
       "[--no-remote-shutdown]\n"
+      "                 [--read-timeout-ms MS] [--idle-timeout-ms MS] "
+      "[--degrade-after-inflight N]\n"
       "       qbs load <graph> <host> <port> [--queries N] [--pairs N] "
       "[--zipf S] [--seed S] [--conns C]\n"
       "                 [--mode spg|distance] [--budget N] [--rate QPS] "
-      "[--burst F] [--no-cache] [--shutdown]\n"
+      "[--burst F] [--deadline-ms MS]\n"
+      "                 [--no-cache] [--shutdown]\n"
       "       qbs datasets\n"
       "<graph>: an edge-list path (.gz ok) or dataset:<name> "
       "(see `qbs datasets`)\n");
@@ -519,7 +523,9 @@ int Serve(int argc, char** argv) {
   if (argc < 2) return Usage();
   qbs::server::ServerOptions options;
   for (int i = 2; i < argc; ++i) {
-    const std::string a = argv[i];
+    // Accept underscore spellings too (--read_timeout_ms et al.).
+    std::string a = argv[i];
+    std::replace(a.begin(), a.end(), '_', '-');
     if (a == "--host" && i + 1 < argc) {
       options.host = argv[++i];
     } else if (a == "--port" && i + 1 < argc) {
@@ -534,6 +540,15 @@ int Serve(int argc, char** argv) {
       options.cache_bytes = static_cast<size_t>(ArgU64(argv[++i])) << 20;
     } else if (a == "--no-remote-shutdown") {
       options.allow_remote_shutdown = false;
+    } else if (a == "--read-timeout-ms" && i + 1 < argc) {
+      options.read_timeout_ms = static_cast<uint32_t>(ArgU64(argv[++i]));
+    } else if (a == "--idle-timeout-ms" && i + 1 < argc) {
+      options.idle_timeout_ms = static_cast<uint32_t>(ArgU64(argv[++i]));
+    } else if (a == "--write-timeout-ms" && i + 1 < argc) {
+      options.write_timeout_ms = static_cast<uint32_t>(ArgU64(argv[++i]));
+    } else if (a == "--degrade-after-inflight" && i + 1 < argc) {
+      options.degrade_after_inflight =
+          static_cast<size_t>(ArgU64(argv[++i]));
     } else {
       std::fprintf(stderr, "unknown option %s\n", a.c_str());
       return 2;
@@ -553,9 +568,12 @@ int Serve(int argc, char** argv) {
   }
   // Machine-parseable readiness line (the CI smoke test and the runbook
   // grep for it), flushed before any query lands.
-  std::printf("qbs serve: listening on %s:%u (|V|=%u, cache %zu MiB)\n",
-              options.host.c_str(), server.port(), g->NumVertices(),
-              options.cache_bytes >> 20);
+  std::printf(
+      "qbs serve: listening on %s:%u (|V|=%u, cache %zu MiB, "
+      "read-timeout %ums, idle-timeout %ums, degrade-after %zu)\n",
+      options.host.c_str(), server.port(), g->NumVertices(),
+      options.cache_bytes >> 20, options.read_timeout_ms,
+      options.idle_timeout_ms, options.degrade_after_inflight);
   std::fflush(stdout);
 
   std::signal(SIGINT, OnSignal);
@@ -574,6 +592,13 @@ int Serve(int argc, char** argv) {
       static_cast<unsigned long long>(stats.bad_requests),
       static_cast<unsigned long long>(stats.protocol_errors),
       static_cast<unsigned long long>(stats.connections_accepted));
+  std::printf(
+      "  robustness: %llu deadline-exceeded, %llu degraded, "
+      "%llu read timeouts, %llu idle reaps\n",
+      static_cast<unsigned long long>(stats.deadline_exceeded),
+      static_cast<unsigned long long>(stats.degraded),
+      static_cast<unsigned long long>(stats.read_timeouts),
+      static_cast<unsigned long long>(stats.idle_timeouts));
   std::printf("  cache: %llu hits / %llu lookups (%.1f%%), %zu entries\n",
               static_cast<unsigned long long>(stats.cache.hits),
               static_cast<unsigned long long>(stats.cache.hits +
@@ -600,7 +625,8 @@ int Load(int argc, char** argv) {
   size_t conns = 1;
   bool send_shutdown = false;
   for (int i = 3; i < argc; ++i) {
-    const std::string a = argv[i];
+    std::string a = argv[i];
+    std::replace(a.begin(), a.end(), '_', '-');
     if (a == "--queries" && i + 1 < argc) {
       workload.num_queries = static_cast<size_t>(ArgU64(argv[++i]));
     } else if (a == "--pairs" && i + 1 < argc) {
@@ -622,6 +648,8 @@ int Load(int argc, char** argv) {
       workload.arrival_rate_qps = std::atof(argv[++i]);
     } else if (a == "--burst" && i + 1 < argc) {
       workload.burst_factor = std::atof(argv[++i]);
+    } else if (a == "--deadline-ms" && i + 1 < argc) {
+      workload.deadline_ms = static_cast<uint32_t>(ArgU64(argv[++i]));
     } else if (a == "--no-cache") {
       workload.flags |= qbs::kQueryFlagNoCache;
     } else if (a == "--shutdown") {
@@ -643,16 +671,26 @@ int Load(int argc, char** argv) {
   // cursor (with conns=1 this is exactly the workload order, which is what
   // makes single-connection hit-rates reproducible).
   std::atomic<size_t> cursor{0};
-  std::atomic<uint64_t> ok{0}, hits{0}, busy_retries{0}, errors{0};
+  std::atomic<uint64_t> ok{0}, hits{0}, degraded{0}, busy_retries{0},
+      reconnects{0}, shed{0}, deadline_exceeded{0}, errors{0};
+  std::atomic<uint32_t> max_queue_depth{0};
   qbs::server::LatencyHistogram latency;
   const auto t0 = std::chrono::steady_clock::now();
 
-  auto worker = [&]() {
+  auto worker = [&](size_t worker_id) {
     qbs::server::QueryClient client;
     if (!client.Connect(host, port)) {
       errors.fetch_add(1);
       return;
     }
+    // Deterministic exponential backoff with seeded jitter (per-worker
+    // stream) instead of the old fixed-sleep busy loop; the server's
+    // retry_after hint floors each delay.
+    qbs::server::RetryPolicy policy;
+    policy.max_attempts = 6;
+    policy.base_backoff_ms = 5;
+    policy.max_backoff_ms = 200;
+    policy.seed = workload.seed ^ (0x9e3779b97f4a7c15ull * (worker_id + 1));
     for (;;) {
       const size_t i = cursor.fetch_add(1);
       if (i >= queries.size()) break;
@@ -663,25 +701,36 @@ int Load(int argc, char** argv) {
       }
       const auto qt0 = std::chrono::steady_clock::now();
       qbs::QueryResponse response;
-      for (;;) {
-        const auto status = client.Query(q.request, &response);
-        if (status == qbs::server::QueryClient::RpcStatus::kBusy) {
-          busy_retries.fetch_add(1);
-          std::this_thread::sleep_for(std::chrono::milliseconds(
-              std::min<uint32_t>(client.retry_after_ms(), 100)));
-          continue;
-        }
-        if (status == qbs::server::QueryClient::RpcStatus::kOk) {
+      qbs::server::RetryStats rstats;
+      const auto status =
+          client.QueryWithRetry(q.request, &response, policy, &rstats);
+      busy_retries.fetch_add(rstats.busy_retries);
+      reconnects.fetch_add(rstats.reconnects);
+      uint32_t depth = rstats.last_queue_depth;
+      uint32_t seen = max_queue_depth.load();
+      while (depth > seen &&
+             !max_queue_depth.compare_exchange_weak(seen, depth)) {
+      }
+      switch (status) {
+        case qbs::server::QueryClient::RpcStatus::kOk:
           ok.fetch_add(1);
           if (response.cache_hit) hits.fetch_add(1);
-        } else {
+          if (response.degraded()) degraded.fetch_add(1);
+          break;
+        case qbs::server::QueryClient::RpcStatus::kBusy:
+          shed.fetch_add(1);  // still busy after every retry: load shed
+          break;
+        case qbs::server::QueryClient::RpcStatus::kDeadlineExceeded:
+          deadline_exceeded.fetch_add(1);
+          break;
+        default:
           errors.fetch_add(1);
           if (status ==
-              qbs::server::QueryClient::RpcStatus::kTransportError) {
-            return;  // connection is gone
+                  qbs::server::QueryClient::RpcStatus::kTransportError &&
+              !client.connected()) {
+            return;  // retries (and reconnects) exhausted
           }
-        }
-        break;
+          break;
       }
       latency.Record(static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -692,7 +741,7 @@ int Load(int argc, char** argv) {
 
   std::vector<std::thread> workers;
   workers.reserve(conns);
-  for (size_t c = 0; c < conns; ++c) workers.emplace_back(worker);
+  for (size_t c = 0; c < conns; ++c) workers.emplace_back(worker, c);
   for (auto& w : workers) w.join();
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -706,13 +755,26 @@ int Load(int argc, char** argv) {
                                    : 0.0,
               conns);
   std::printf(
-      "  hit-rate %.4f (%llu hits), %llu busy retries, %llu errors\n",
+      "  hit-rate %.4f (%llu hits), %llu busy retries, %llu reconnects, "
+      "%llu errors\n",
       answered > 0 ? static_cast<double>(hits.load()) /
                          static_cast<double>(answered)
                    : 0.0,
       static_cast<unsigned long long>(hits.load()),
       static_cast<unsigned long long>(busy_retries.load()),
+      static_cast<unsigned long long>(reconnects.load()),
       static_cast<unsigned long long>(errors.load()));
+  std::printf(
+      "  shed %llu (%.2f%% of %zu), %llu deadline-exceeded, "
+      "%llu degraded, max queue depth %u\n",
+      static_cast<unsigned long long>(shed.load()),
+      queries.empty() ? 0.0
+                      : 100.0 * static_cast<double>(shed.load()) /
+                            static_cast<double>(queries.size()),
+      queries.size(),
+      static_cast<unsigned long long>(deadline_exceeded.load()),
+      static_cast<unsigned long long>(degraded.load()),
+      max_queue_depth.load());
   std::printf("  p50=%.3fms p99=%.3fms p999=%.3fms mean=%.3fms\n",
               snap.QuantileMillis(0.50), snap.QuantileMillis(0.99),
               snap.QuantileMillis(0.999), snap.MeanMillis());
