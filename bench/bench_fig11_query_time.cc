@@ -25,8 +25,13 @@ void Run() {
       options.num_landmarks = k;
       options.num_threads = EnvThreads();
       QbsIndex index = QbsIndex::Build(d.graph, options);
+      QueryRequest request;
       WallTimer timer;
-      for (const auto& [u, v] : d.pairs) index.Query(u, v);
+      for (const auto& [u, v] : d.pairs) {
+        request.u = u;
+        request.v = v;
+        index.Query(request);
+      }
       table.Row({d.spec.abbrev, std::to_string(k),
                  FormatMs(timer.ElapsedMillis() / d.pairs.size())});
     }

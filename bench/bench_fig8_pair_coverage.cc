@@ -28,10 +28,12 @@ void Run() {
       uint64_t all = 0;
       uint64_t some = 0;
       uint64_t connected = 0;
+      QueryRequest request;
       for (const auto& [u, v] : d.pairs) {
-        SearchStats stats;
-        index.Query(u, v, &stats);
-        switch (stats.coverage) {
+        request.u = u;
+        request.v = v;
+        const QueryResponse response = index.Query(request);
+        switch (response.stats.coverage) {
           case PairCoverage::kAllThroughLandmarks:
             ++all;
             ++connected;

@@ -1,0 +1,115 @@
+// Dynamic-update benchmark: incremental maintenance throughput
+// (QbsIndex::ApplyUpdates) and query latency under churn. For each
+// dataset, three edit workloads — pure inserts, pure deletes, and a mixed
+// stream — are applied in batches to an updatable index; the table
+// reports the mean apply time per batch and the mean query time over the
+// standard pair sample immediately after the churn (the repaired index
+// answers, not a rebuilt one). CI feeds the CSV echo through
+// scripts/bench_compare.py to catch apply/query-time regressions.
+
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/qbs_index.h"
+#include "graph/graph_delta.h"
+#include "util/timer.h"
+
+namespace qbs::bench {
+namespace {
+
+constexpr size_t kBatches = 6;
+constexpr size_t kEditsPerBatch = 12;
+
+enum class Workload { kInsert, kDelete, kMixed };
+
+const char* WorkloadName(Workload w) {
+  switch (w) {
+    case Workload::kInsert:
+      return "insert";
+    case Workload::kDelete:
+      return "delete";
+    default:
+      return "mixed";
+  }
+}
+
+// A batch of edits drawn for `w`: inserts are uniform non-edges, deletes
+// uniform existing edges, mixed alternates.
+GraphDelta DrawBatch(const Graph& g, Workload w, std::mt19937_64& rng) {
+  const std::vector<Edge> edges = g.EdgeList();
+  std::uniform_int_distribution<VertexId> vtx(0, g.NumVertices() - 1);
+  GraphDelta delta;
+  for (size_t i = 0; i < kEditsPerBatch; ++i) {
+    const bool del = w == Workload::kDelete ||
+                     (w == Workload::kMixed && i % 2 == 1);
+    if (del && !edges.empty()) {
+      const Edge& e = edges[rng() % edges.size()];
+      delta.Delete(e.u, e.v);
+    } else {
+      VertexId u = vtx(rng);
+      VertexId v = vtx(rng);
+      for (int tries = 0; (u == v || g.HasEdge(u, v)) && tries < 32;
+           ++tries) {
+        u = vtx(rng);
+        v = vtx(rng);
+      }
+      delta.Insert(u, v);
+    }
+  }
+  return delta;
+}
+
+void Run() {
+  std::printf("Update churn: ApplyUpdates batches of %zu edits, query "
+              "latency after churn; %zu pairs\n",
+              kEditsPerBatch, EnvPairs());
+  TablePrinter table("Update churn",
+                     {"Dataset", "workload", "edits", "apply(ms)",
+                      "query(ms)"},
+                     {12, 9, 6, 10, 10});
+  for (const auto& ref : SelectedBenchDatasets()) {
+    const LoadedDataset d = LoadDataset(ref);
+    for (const Workload w :
+         {Workload::kInsert, Workload::kDelete, Workload::kMixed}) {
+      Graph g = d.graph;  // private mutable copy per workload
+      QbsOptions options;
+      options.num_threads = EnvThreads();
+      QbsIndex index = QbsIndex::Build(g, options);
+      index.EnableUpdates(&g, EnvThreads());
+
+      std::mt19937_64 rng(0x51c5u ^ static_cast<uint64_t>(w));
+      uint64_t applied = 0;
+      double apply_ms = 0.0;
+      for (size_t batch = 0; batch < kBatches; ++batch) {
+        const GraphDelta delta = DrawBatch(g, w, rng);
+        WallTimer timer;
+        const UpdateStats stats = index.ApplyUpdates(delta);
+        apply_ms += timer.ElapsedMillis();
+        applied += stats.AppliedTotal();
+      }
+
+      WallTimer query_timer;
+      QueryRequest request;
+      for (const auto& [u, v] : d.pairs) {
+        request.u = u;
+        request.v = v;
+        index.Query(request);
+      }
+      const double query_ms =
+          query_timer.ElapsedMillis() / static_cast<double>(d.pairs.size());
+      table.Row({d.spec.abbrev, WorkloadName(w), std::to_string(applied),
+                 FormatMs(apply_ms / kBatches), FormatMs(query_ms)});
+    }
+  }
+  table.Footer();
+}
+
+}  // namespace
+}  // namespace qbs::bench
+
+int main(int argc, char** argv) {
+  qbs::bench::InitBenchArgs(argc, argv);
+  qbs::bench::Run();
+}

@@ -534,4 +534,103 @@ LabelingScheme BuildLabelingScheme(const Graph& g,
   return scheme;
 }
 
+void RebuildLabelColumn(const Graph& g, PathLabeling& labeling,
+                        LandmarkIndex i, LabelColumnState* state) {
+  const VertexId n = g.NumVertices();
+  std::vector<DistT> col(n, kInfDist);
+  std::vector<MetaEdge> meta;
+  BfsScratch s;
+  if (labeling.has_bp_masks()) {
+    // S_r is an adjacency property, so edge edits at the root can change
+    // it — refresh before seeding.
+    labeling.SetBpSelected(
+        i, SelectBpNeighbors(g, labeling, labeling.LandmarkVertex(i)));
+    std::vector<BpMask> bp_col(n, BpMask{});
+    LabelFromLandmarkImpl<true>(g, labeling, i, col.data(), &meta, &s,
+                                bp_col.data());
+    ComputeBpSZeroFused(g, s.depth, s.order, bp_col.data());
+    for (VertexId v = 0; v < n; ++v) labeling.SetBpMask(v, i, bp_col[v]);
+  } else {
+    LabelFromLandmark(g, labeling, i, col.data(), &meta, &s);
+  }
+  for (VertexId v = 0; v < n; ++v) labeling.Set(v, i, col[v]);
+  std::sort(meta.begin(), meta.end());
+  state->depth = std::move(s.depth);
+  state->meta = std::move(meta);
+}
+
+void RederiveLabelColumn(const Graph& g, PathLabeling& labeling,
+                         LandmarkIndex i, LabelColumnState* state) {
+  const VertexId n = g.NumVertices();
+  const std::vector<uint32_t>& depth = state->depth;
+  QBS_CHECK_EQ(depth.size(), static_cast<size_t>(n));
+
+  // Level-sorted settle order via counting sort (ascending id within each
+  // level). Any level-sorted order derives identical labels and masks: the
+  // QL rule and both mask recurrences only compare depths across edges.
+  uint32_t max_depth = 0;
+  size_t reached = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (depth[v] == kUnreachable) continue;
+    ++reached;
+    max_depth = std::max(max_depth, depth[v]);
+  }
+  QBS_CHECK_LT(max_depth, static_cast<uint32_t>(kInfDist));
+  std::vector<size_t> level_begin(static_cast<size_t>(max_depth) + 2, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (depth[v] != kUnreachable) ++level_begin[depth[v] + 1];
+  }
+  for (size_t d = 1; d < level_begin.size(); ++d) {
+    level_begin[d] += level_begin[d - 1];
+  }
+  std::vector<VertexId> order(reached);
+  std::vector<size_t> cursor(level_begin.begin(), level_begin.end() - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    if (depth[v] != kUnreachable) order[cursor[depth[v]]++] = v;
+  }
+
+  // QL reclassification in level order: the root seeds QL; a vertex is QL
+  // iff some depth-(d-1) parent is QL and it is not itself a landmark.
+  // Non-landmark QL vertices carry the label; landmarks first reached via a
+  // QL parent produce the meta-edge — exactly Settle()'s rule, driven by
+  // exact depths instead of discovery order.
+  for (VertexId v = 0; v < n; ++v) labeling.Set(v, i, kInfDist);
+  std::vector<MetaEdge> meta;
+  std::vector<uint8_t> ql(n, 0);
+  for (const VertexId v : order) {
+    const uint32_t d = depth[v];
+    if (d == 0) {
+      ql[v] = 1;  // the root joins QL even though it is a landmark
+      continue;
+    }
+    bool via_l = false;
+    for (VertexId w : g.Neighbors(v)) {
+      // depth[w] + 1 wraps to 0 for unreached w; d >= 1 here, so no match.
+      if (depth[w] + 1 == d && ql[w] != 0) {
+        via_l = true;
+        break;
+      }
+    }
+    const int32_t rank = labeling.LandmarkRank(v);
+    if (rank >= 0) {
+      if (via_l) {
+        meta.push_back(MetaEdge{i, static_cast<LandmarkIndex>(rank), d});
+      }
+    } else if (via_l) {
+      ql[v] = 1;
+      labeling.Set(v, i, static_cast<DistT>(d));
+    }
+  }
+
+  if (labeling.has_bp_masks()) {
+    labeling.SetBpSelected(
+        i, SelectBpNeighbors(g, labeling, labeling.LandmarkVertex(i)));
+    std::vector<BpMask> bp_col(n, BpMask{});
+    ComputeBpColumn(g, labeling.BpSelected(i), depth, order, bp_col.data());
+    for (VertexId v = 0; v < n; ++v) labeling.SetBpMask(v, i, bp_col[v]);
+  }
+  std::sort(meta.begin(), meta.end());
+  state->meta = std::move(meta);
+}
+
 }  // namespace qbs

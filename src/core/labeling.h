@@ -166,6 +166,38 @@ LabelingScheme BuildLabelingScheme(const Graph& g,
                                    const std::vector<VertexId>& landmarks,
                                    const LabelingBuildOptions& options = {});
 
+/// --- Incremental maintenance entry points (core/updatable_index.h). ---
+
+/// Exact BFS state of one landmark column, captured at (re)build time so
+/// incremental maintenance can detect affected columns from stored depths
+/// and rederive labels after partial repairs. depth[v] = d_G(r_i, v) for
+/// every vertex (kUnreachable when disconnected — unlike the label matrix,
+/// which only keeps pruned entries); meta holds the column's meta-edges
+/// (a = this column's landmark index), sorted.
+struct LabelColumnState {
+  std::vector<uint32_t> depth;
+  std::vector<MetaEdge> meta;
+};
+
+/// Rebuilds landmark column i from scratch against `g`: refreshes S_r when
+/// masks are enabled, runs the labelling BFS, fills the mask column, writes
+/// the column into `labeling` (labels + masks, vertex-major), and captures
+/// the exact depth array + meta-edges into `state`. Equivalent to the slice
+/// of BuildLabelingScheme for this landmark — bit-identical labels/masks.
+void RebuildLabelColumn(const Graph& g, PathLabeling& labeling,
+                        LandmarkIndex i, LabelColumnState* state);
+
+/// Rederives landmark column i's labels, meta-edges, and masks from an
+/// already-exact depth array in state->depth (e.g. after a partial BFS
+/// repair against the updated graph): recomputes the QL classification
+/// level by level and replays the mask sweeps. Bit-identical to
+/// RebuildLabelColumn(g, ...) whenever state->depth matches the BFS depths
+/// on `g` — the QL rule and both mask recurrences depend only on exact
+/// depths, not on traversal order. state->meta is rewritten; S_r is
+/// refreshed from `g`'s adjacency when masks are enabled.
+void RederiveLabelColumn(const Graph& g, PathLabeling& labeling,
+                         LandmarkIndex i, LabelColumnState* state);
+
 }  // namespace qbs
 
 #endif  // QBS_CORE_LABELING_H_

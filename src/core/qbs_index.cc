@@ -217,6 +217,62 @@ std::vector<ShortestPathGraph> QbsIndex::QueryBatch(
 
 #pragma GCC diagnostic pop
 
+void QbsIndex::EnableUpdates(Graph* mutable_graph, size_t num_threads) {
+  QBS_CHECK(mutable_graph == g_);  // the very graph the index was built on
+  mutable_g_ = mutable_graph;
+  updatable_ = std::make_unique<UpdatableState>();
+  InitUpdatableState(*g_, scheme_->labeling, updatable_.get(), num_threads);
+}
+
+UpdateStats QbsIndex::ApplyUpdates(const GraphDelta& delta,
+                                   const UpdateOptions& options) {
+  QBS_CHECK(updatable_ != nullptr);  // EnableUpdates() first
+  const NetChanges net = ComputeNetChanges(*g_, delta);
+  UpdateStats stats;
+  stats.noop_updates = net.noop_inserts + net.noop_deletes;
+  stats.invalid_updates = net.invalid;
+  if (net.EmptyNet()) {
+    // Nothing changes in the graph; at most an overdue consolidation runs.
+    if (options.consolidate && updatable_->HasDirty()) {
+      stats.rebuilt_columns = Consolidate(options.num_threads);
+    }
+    return stats;
+  }
+  Graph new_graph = ApplyNetChanges(*g_, net);
+  // Classification reads the OLD depths/masks (still held in updatable_
+  // and the labelling), never the old adjacency — so the graph swaps in
+  // first. Move-assignment keeps *g_'s address stable, which every live
+  // searcher references.
+  *mutable_g_ = std::move(new_graph);
+  const UpdateStats col =
+      ApplyNetToLabeling(*g_, net, &scheme_->labeling, &scheme_->meta,
+                         updatable_.get(), options);
+  stats.applied_inserts = col.applied_inserts;
+  stats.applied_deletes = col.applied_deletes;
+  stats.repaired_columns = col.repaired_columns;
+  stats.rebuilt_columns = col.rebuilt_columns;
+  stats.deferred_columns = col.deferred_columns;
+  RefreshDerived(options.num_threads);
+  return stats;
+}
+
+uint32_t QbsIndex::Consolidate(size_t num_threads) {
+  QBS_CHECK(updatable_ != nullptr);
+  const uint32_t rebuilt =
+      ConsolidateDirtyColumns(*g_, &scheme_->labeling, &scheme_->meta,
+                              updatable_.get(), num_threads);
+  if (rebuilt > 0) RefreshDerived(num_threads);
+  return rebuilt;
+}
+
+void QbsIndex::RefreshDerived(size_t num_threads) {
+  if (delta_ != nullptr) {
+    *delta_ = DeltaCache::Build(*g_, scheme_->labeling, scheme_->meta,
+                                num_threads);
+  }
+  *sparsified_ = MakeSparsifiedGraph(*g_, scheme_->labeling);
+}
+
 uint32_t QbsIndex::DistanceUpperBound(VertexId u, VertexId v) const {
   QBS_CHECK_LT(u, g_->NumVertices());
   QBS_CHECK_LT(v, g_->NumVertices());

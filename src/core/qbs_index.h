@@ -30,7 +30,9 @@
 #include "core/query_api.h"
 #include "core/search_stats.h"
 #include "core/sketch.h"
+#include "core/updatable_index.h"
 #include "graph/graph.h"
+#include "graph/graph_delta.h"
 #include "graph/spg.h"
 
 namespace qbs {
@@ -178,6 +180,44 @@ class QbsIndex {
   /// lease regression tests and capacity debugging).
   size_t BatchSearcherPoolSize() const;
 
+  /// --- Dynamic updates (core/updatable_index.h). ---
+
+  /// Switches the index into updatable mode: captures the exact per-column
+  /// BFS state incremental maintenance detects against (one relabelling
+  /// pass — so it also works on an index restored by LoadFromFile, whose
+  /// file format carries no depth arrays). `mutable_graph` must be the very
+  /// graph object the index was built on (CHECK-enforced); ApplyUpdates
+  /// move-assigns the post-edit CSR into it, keeping its address — which
+  /// every live searcher references — stable. |V| is fixed for the life of
+  /// the index: edits are edge-level.
+  void EnableUpdates(Graph* mutable_graph, size_t num_threads = 0);
+
+  bool updates_enabled() const { return updatable_ != nullptr; }
+
+  /// Applies an edit script: computes the net edge changes, swaps in the
+  /// updated graph, repairs/rebuilds exactly the affected label columns,
+  /// and refreshes the meta-graph, Δ cache, and sparsified graph. With
+  /// options.consolidate (default) the index answers every query exactly
+  /// as a from-scratch build on the new graph would — bit-identically —
+  /// when this returns; with consolidate = false, delete-dirtied columns
+  /// are deferred to Consolidate() and may serve stale answers until then.
+  /// Requires EnableUpdates(). NOT thread-safe against concurrent queries:
+  /// callers must quiesce query traffic (the server wraps this in a writer
+  /// lock) — searcher scratch is per-query, but the labelling and graph
+  /// mutate in place here.
+  UpdateStats ApplyUpdates(const GraphDelta& delta,
+                           const UpdateOptions& options = {});
+
+  /// Rebuilds any columns left dirty by deferred updates. Returns the
+  /// number rebuilt (0 = already clean). Same thread-safety caveat as
+  /// ApplyUpdates.
+  uint32_t Consolidate(size_t num_threads = 0);
+
+  /// True iff deferred deletes have left stale columns behind.
+  bool HasDirtyColumns() const {
+    return updatable_ != nullptr && updatable_->HasDirty();
+  }
+
   /// An upper bound on d_G(u, v): the sketch bound d⊤ (Eq. 3) — tight
   /// whenever a shortest path crosses a landmark — further tightened by the
   /// bit-parallel label bound when masks are present (tight whenever a
@@ -223,6 +263,11 @@ class QbsIndex {
  private:
   QbsIndex() = default;
 
+  /// Rebuilds the structures derived from (graph, labelling, meta) after a
+  /// mutation: the Δ cache (when enabled) and the sparsified graph, both
+  /// move-assigned in place so searcher references stay valid.
+  void RefreshDerived(size_t num_threads);
+
   const Graph* g_ = nullptr;  // not owned
   /// Heap-allocated so GuidedSearcher's references survive moves.
   std::unique_ptr<LabelingScheme> scheme_;
@@ -240,6 +285,11 @@ class QbsIndex {
   /// Mask-guided pruning setting applied to every searcher this index
   /// constructs (QbsOptions::mask_prune).
   bool mask_prune_ = true;
+  /// Set by EnableUpdates: the same object g_ points at, held mutably so
+  /// ApplyUpdates can move-assign the post-edit CSR into it.
+  Graph* mutable_g_ = nullptr;
+  /// Per-column maintenance state; non-null iff updates are enabled.
+  std::unique_ptr<UpdatableState> updatable_;
 };
 
 }  // namespace qbs

@@ -1,0 +1,68 @@
+#include "graph/graph_delta.h"
+
+#include <algorithm>
+#include <map>
+
+namespace qbs {
+
+NetChanges ComputeNetChanges(const Graph& base, const GraphDelta& delta) {
+  NetChanges net;
+  const VertexId n = base.NumVertices();
+  // Presence of every touched (normalized) edge relative to the evolving
+  // edge set; untouched edges keep their base presence. A map keeps the
+  // evaluation O(k log k) in the script length k, independent of |E|.
+  std::map<Edge, bool> touched;
+  for (const EdgeUpdate& upd : delta.updates()) {
+    if (upd.u == upd.v || upd.u >= n || upd.v >= n) {
+      ++net.invalid;
+      continue;
+    }
+    const Edge e = Edge(upd.u, upd.v).Normalized();
+    auto it = touched.find(e);
+    const bool present =
+        it != touched.end() ? it->second : base.HasEdge(e.u, e.v);
+    if (upd.op == EdgeOp::kInsert) {
+      if (present) {
+        ++net.noop_inserts;
+      } else {
+        touched[e] = true;
+      }
+    } else {
+      if (!present) {
+        ++net.noop_deletes;
+      } else {
+        touched[e] = false;
+      }
+    }
+  }
+  for (const auto& [e, present] : touched) {
+    const bool in_base = base.HasEdge(e.u, e.v);
+    if (present && !in_base) net.inserts.push_back(e);
+    if (!present && in_base) net.deletes.push_back(e);
+  }
+  // std::map iteration is already sorted; keep the contract explicit.
+  std::sort(net.inserts.begin(), net.inserts.end());
+  std::sort(net.deletes.begin(), net.deletes.end());
+  return net;
+}
+
+Graph ApplyNetChanges(const Graph& base, const NetChanges& net) {
+  std::vector<Edge> edges = base.EdgeList();
+  if (!net.deletes.empty()) {
+    // Both lists are normalized + sorted, so one merge pass filters the
+    // deletions out.
+    std::vector<Edge> kept;
+    kept.reserve(edges.size());
+    auto del = net.deletes.begin();
+    for (const Edge& e : edges) {
+      while (del != net.deletes.end() && *del < e) ++del;
+      if (del != net.deletes.end() && *del == e) continue;
+      kept.push_back(e);
+    }
+    edges = std::move(kept);
+  }
+  edges.insert(edges.end(), net.inserts.begin(), net.inserts.end());
+  return Graph::FromEdges(base.NumVertices(), std::move(edges));
+}
+
+}  // namespace qbs

@@ -272,6 +272,44 @@ QueryClient::RpcStatus QueryClient::QueryWithRetry(const QueryRequest& request,
   return status;
 }
 
+QueryClient::RpcStatus QueryClient::Update(const GraphDelta& delta,
+                                           UpdateStats* stats,
+                                           uint32_t flags) {
+  Frame reply;
+  if (!RoundTrip(FrameType::kUpdateRequest, EncodeUpdateRequest(delta, flags),
+                 &reply)) {
+    return RpcStatus::kTransportError;
+  }
+  switch (reply.type) {
+    case FrameType::kUpdateResponse: {
+      UpdateStats decoded;
+      if (!DecodeUpdateResponse(reply.payload, &decoded)) {
+        last_error_ = "undecodable update response";
+        Close();
+        return RpcStatus::kTransportError;
+      }
+      if (stats != nullptr) *stats = decoded;
+      return RpcStatus::kOk;
+    }
+    case FrameType::kError: {
+      ErrorCode code = ErrorCode::kInternal;
+      std::string message;
+      if (DecodeError(reply.payload, &code, &message)) {
+        last_error_ = message;
+      } else {
+        last_error_ = "undecodable error frame";
+      }
+      last_error_code_ = code;
+      return RpcStatus::kRemoteError;
+    }
+    default:
+      last_error_ = "unexpected reply frame type " +
+                    std::to_string(static_cast<unsigned>(reply.type));
+      Close();
+      return RpcStatus::kTransportError;
+  }
+}
+
 bool QueryClient::Ping() {
   Frame reply;
   return RoundTrip(FrameType::kPing, {}, &reply) &&

@@ -123,6 +123,13 @@ class QueryClient {
                            QueryResponse* response, const RetryPolicy& policy,
                            RetryStats* stats = nullptr);
 
+  /// Sends one edit script and blocks for the kUpdateResponse. The server
+  /// must be running with updates enabled (`qbs serve --updatable`);
+  /// otherwise it answers kError and this returns kRemoteError. `stats`
+  /// (optional) receives the server's apply counters. Flags: kUpdateFlag*.
+  RpcStatus Update(const GraphDelta& delta, UpdateStats* stats = nullptr,
+                   uint32_t flags = 0);
+
   /// Round-trips a kPing.
   bool Ping();
 

@@ -41,7 +41,7 @@ uint64_t Get64(const uint8_t* p) {
 
 bool ValidFrameType(uint8_t t) {
   return t >= static_cast<uint8_t>(FrameType::kQueryRequest) &&
-         t <= static_cast<uint8_t>(FrameType::kShutdownAck);
+         t <= static_cast<uint8_t>(FrameType::kUpdateResponse);
 }
 
 }  // namespace
@@ -206,6 +206,71 @@ bool DecodeError(std::span<const uint8_t> payload, ErrorCode* code,
   if (payload.size() < 4) return false;
   *code = static_cast<ErrorCode>(Get32(payload.data()));
   message->assign(payload.begin() + 4, payload.end());
+  return true;
+}
+
+std::vector<uint8_t> EncodeUpdateRequest(const GraphDelta& delta,
+                                         uint32_t flags) {
+  std::vector<uint8_t> out;
+  out.reserve(8 + delta.size() * 12);
+  Put32(&out, static_cast<uint32_t>(delta.size()));
+  Put32(&out, flags);
+  for (const EdgeUpdate& upd : delta.updates()) {
+    out.push_back(static_cast<uint8_t>(upd.op));
+    out.push_back(0);
+    out.push_back(0);
+    out.push_back(0);
+    Put32(&out, upd.u);
+    Put32(&out, upd.v);
+  }
+  return out;
+}
+
+bool DecodeUpdateRequest(std::span<const uint8_t> payload, GraphDelta* delta,
+                         uint32_t* flags) {
+  if (payload.size() < 8) return false;
+  const uint32_t count = Get32(payload.data());
+  const uint32_t f = Get32(payload.data() + 4);
+  if ((f & ~kUpdateFlagDefer) != 0) return false;
+  if (payload.size() != 8 + static_cast<size_t>(count) * 12) return false;
+  delta->Clear();
+  const uint8_t* p = payload.data() + 8;
+  for (uint32_t i = 0; i < count; ++i, p += 12) {
+    if (p[0] > static_cast<uint8_t>(EdgeOp::kDelete)) return false;
+    if (p[1] != 0 || p[2] != 0 || p[3] != 0) return false;
+    delta->Add(EdgeUpdate{static_cast<EdgeOp>(p[0]), Get32(p + 4),
+                          Get32(p + 8)});
+  }
+  *flags = f;
+  return true;
+}
+
+std::vector<uint8_t> EncodeUpdateResponse(const UpdateStats& stats) {
+  std::vector<uint8_t> out;
+  out.reserve(48);
+  Put64(&out, stats.applied_inserts);
+  Put64(&out, stats.applied_deletes);
+  Put64(&out, stats.noop_updates);
+  Put64(&out, stats.invalid_updates);
+  Put32(&out, stats.repaired_columns);
+  Put32(&out, stats.rebuilt_columns);
+  Put32(&out, stats.deferred_columns);
+  Put32(&out, 0);  // reserved
+  return out;
+}
+
+bool DecodeUpdateResponse(std::span<const uint8_t> payload,
+                          UpdateStats* stats) {
+  if (payload.size() != 48) return false;
+  if (Get32(payload.data() + 44) != 0) return false;
+  *stats = UpdateStats();
+  stats->applied_inserts = Get64(payload.data());
+  stats->applied_deletes = Get64(payload.data() + 8);
+  stats->noop_updates = Get64(payload.data() + 16);
+  stats->invalid_updates = Get64(payload.data() + 24);
+  stats->repaired_columns = Get32(payload.data() + 32);
+  stats->rebuilt_columns = Get32(payload.data() + 36);
+  stats->deferred_columns = Get32(payload.data() + 40);
   return true;
 }
 

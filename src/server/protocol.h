@@ -29,6 +29,8 @@
 #include <vector>
 
 #include "core/query_api.h"
+#include "core/updatable_index.h"
+#include "graph/graph_delta.h"
 
 namespace qbs::server {
 
@@ -56,7 +58,17 @@ enum class FrameType : uint8_t {
   /// before the server stops accepting).
   kShutdown = 7,
   kShutdownAck = 8,
+  /// An edge edit script for the daemon's index (requires `qbs serve
+  /// --updatable`; otherwise answered with a kBadRequest error). Applied
+  /// atomically w.r.t. queries, answered with kUpdateResponse.
+  kUpdateRequest = 9,
+  kUpdateResponse = 10,
 };
+
+/// Update-request flag: defer delete-dirtied column rebuilds to a later
+/// consolidation instead of rebuilding them in this batch (the index may
+/// serve stale answers until then — opt-in eventual consistency).
+inline constexpr uint32_t kUpdateFlagDefer = 1u << 0;
 
 /// Error payload codes.
 enum class ErrorCode : uint32_t {
@@ -136,6 +148,23 @@ bool DecodeQueryResponse(std::span<const uint8_t> payload,
 std::vector<uint8_t> EncodeError(ErrorCode code, const std::string& message);
 bool DecodeError(std::span<const uint8_t> payload, ErrorCode* code,
                  std::string* message);
+
+/// Update request payload: u32 edit count, u32 flags (kUpdateFlag* only;
+/// unknown bits reject), then one 12-byte record per edit — u8 op
+/// (EdgeOp), 3 reserved bytes (must be 0), u32 u, u32 v. Endpoint range
+/// checks happen server-side against |V| (out-of-range edits count as
+/// invalid, they don't poison the frame).
+std::vector<uint8_t> EncodeUpdateRequest(const GraphDelta& delta,
+                                         uint32_t flags = 0);
+bool DecodeUpdateRequest(std::span<const uint8_t> payload, GraphDelta* delta,
+                         uint32_t* flags);
+
+/// Update response payload: the UpdateStats the apply produced — four u64
+/// counters (applied inserts/deletes, no-ops, invalid) then four u32
+/// fields (repaired, rebuilt, deferred columns, reserved 0). 48 bytes.
+std::vector<uint8_t> EncodeUpdateResponse(const UpdateStats& stats);
+bool DecodeUpdateResponse(std::span<const uint8_t> payload,
+                          UpdateStats* stats);
 
 /// Busy payload: retry-after hint + the admission queue depth observed at
 /// rejection (how deep the backlog was — `qbs load` turns this into a

@@ -374,6 +374,21 @@ bool QueryServer::HandleFrame(Socket& sock, FaultInjector* injector,
       }
       return ServeQuery(sock, injector, request);
     }
+    case FrameType::kUpdateRequest: {
+      if (!options_.allow_updates) {
+        bad_requests_.fetch_add(1, std::memory_order_relaxed);
+        return SendError(sock, ErrorCode::kBadRequest,
+                         "updates not permitted (serve with --updatable)");
+      }
+      GraphDelta delta;
+      uint32_t flags = 0;
+      if (!DecodeUpdateRequest(frame.payload, &delta, &flags)) {
+        bad_requests_.fetch_add(1, std::memory_order_relaxed);
+        return SendError(sock, ErrorCode::kBadRequest,
+                         "malformed update payload");
+      }
+      return ServeUpdate(sock, delta, flags);
+    }
     default: {
       // A structurally valid frame the server has no business receiving
       // (e.g. a kQueryResponse). Answer with an error but keep the
@@ -448,13 +463,20 @@ bool QueryServer::ServeQuery(Socket& sock, FaultInjector* injector,
   bool cache_hit = false;
   const bool cacheable = options_.cache_bytes > 0 &&
                          (request.flags & kQueryFlagNoCache) == 0;
-  if (cacheable) cache_hit = cache_.Lookup(request, &response);
-  if (!cache_hit) {
-    {
-      QbsIndex::SearcherLease lease(index_, 1);
-      response = index_.Execute(lease[0], request);
+  {
+    // One reader critical section from cache lookup through cache insert:
+    // an update (writer) can therefore never interleave between this
+    // query's execution and its insert, so the post-update cache clear is
+    // final — no stale response sneaks in behind it.
+    std::shared_lock<std::shared_mutex> read_lock(index_mu_);
+    if (cacheable) cache_hit = cache_.Lookup(request, &response);
+    if (!cache_hit) {
+      {
+        QbsIndex::SearcherLease lease(index_, 1);
+        response = index_.Execute(lease[0], request);
+      }
+      if (cacheable) cache_.Insert(request, response);
     }
-    if (cacheable) cache_.Insert(request, response);
   }
   gate_.Release();
   queries_.fetch_add(1, std::memory_order_relaxed);
@@ -475,6 +497,9 @@ bool QueryServer::ServeQuery(Socket& sock, FaultInjector* injector,
 
 bool QueryServer::ServeDegraded(Socket& sock, const QueryRequest& request) {
   const uint64_t start = NowNanos();
+  // Same reader discipline as ServeQuery: the labelling read and the cache
+  // lookup/insert must not interleave with an update's apply + clear.
+  std::shared_lock<std::shared_mutex> read_lock(index_mu_);
   QueryResponse response;
   // A cache hit is cheaper than the label scan and exact — serve it even
   // under saturation.
@@ -522,6 +547,29 @@ bool QueryServer::ServeDegraded(Socket& sock, const QueryRequest& request) {
   return SendFrame(sock, FrameType::kQueryResponse, payload);
 }
 
+bool QueryServer::ServeUpdate(Socket& sock, const GraphDelta& delta,
+                              uint32_t flags) {
+  if (!index_.updates_enabled()) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    return SendError(sock, ErrorCode::kBadRequest,
+                     "index was not loaded in updatable mode");
+  }
+  UpdateStats stats;
+  {
+    // Writer side: queries drain, the delta applies, and the cache is
+    // cleared before any reader can run again — so no answer computed (or
+    // cached) against the pre-update index is ever served afterwards.
+    std::unique_lock<std::shared_mutex> write_lock(index_mu_);
+    UpdateOptions opt;
+    opt.consolidate = (flags & kUpdateFlagDefer) == 0;
+    stats = index_.ApplyUpdates(delta, opt);
+    if (stats.AppliedTotal() > 0) cache_.Clear();
+  }
+  updates_.fetch_add(1, std::memory_order_relaxed);
+  const std::vector<uint8_t> payload = EncodeUpdateResponse(stats);
+  return SendFrame(sock, FrameType::kUpdateResponse, payload);
+}
+
 bool QueryServer::SendFrame(Socket& sock, FrameType type,
                             std::span<const uint8_t> payload) {
   std::vector<uint8_t> frame;
@@ -541,6 +589,7 @@ bool QueryServer::SendError(Socket& sock, ErrorCode code,
 QueryServer::StatsSnapshot QueryServer::GetStats() const {
   StatsSnapshot snap;
   snap.queries = queries_.load(std::memory_order_relaxed);
+  snap.updates = updates_.load(std::memory_order_relaxed);
   snap.busy_rejections = busy_rejections_.load(std::memory_order_relaxed);
   snap.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   snap.degraded = degraded_.load(std::memory_order_relaxed);

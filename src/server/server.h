@@ -45,6 +45,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
@@ -122,6 +123,12 @@ struct ServerOptions {
   /// Honor kShutdown frames from clients (on for tests/CI smoke; off for
   /// anything resembling production).
   bool allow_remote_shutdown = true;
+  /// Honor kUpdateRequest frames (edge edit scripts). Requires the index
+  /// to be in updatable mode (QbsIndex::EnableUpdates) before Start().
+  /// Updates run under a writer lock — queries drain first, the delta
+  /// applies, and the result cache is cleared before any query can read it
+  /// again, so a served answer is never stale across an applied delta.
+  bool allow_updates = false;
   /// Per-frame payload cap for request parsing.
   uint32_t max_request_payload = kMaxRequestPayload;
 
@@ -178,6 +185,7 @@ class QueryServer {
 
   struct StatsSnapshot {
     uint64_t queries = 0;            // executed or cache-answered
+    uint64_t updates = 0;            // update frames applied
     uint64_t busy_rejections = 0;    // kBusy answers (admission)
     uint64_t deadline_exceeded = 0;  // kDeadlineExceeded answers
     uint64_t degraded = 0;           // label-only degraded answers
@@ -211,15 +219,24 @@ class QueryServer {
   /// kResponseFlagDegraded bounds (or an exact label-certified distance
   /// when one exists).
   bool ServeDegraded(Socket& sock, const QueryRequest& request);
+  /// Applies one decoded edit script under the writer side of index_mu_
+  /// and clears the result cache before releasing it; answers with
+  /// kUpdateResponse.
+  bool ServeUpdate(Socket& sock, const GraphDelta& delta, uint32_t flags);
   bool SendFrame(Socket& sock, FrameType type,
                  std::span<const uint8_t> payload);
   bool SendError(Socket& sock, ErrorCode code, const std::string& message);
 
   QbsIndex& index_;
   const ServerOptions options_;
-  const VertexId num_vertices_;
+  const VertexId num_vertices_;  // |V| is fixed: edits are edge-level
   ResultCache cache_;
   AdmissionGate gate_;
+  /// Readers: every query path that touches the index or the result cache
+  /// (lookup through insert, one critical section — so a pre-update
+  /// response can never be inserted after the post-update cache clear).
+  /// Writer: ServeUpdate, which clears the cache before unlocking.
+  mutable std::shared_mutex index_mu_;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;
@@ -238,6 +255,7 @@ class QueryServer {
   size_t active_connections_ = 0;
 
   std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> updates_{0};
   std::atomic<uint64_t> busy_rejections_{0};
   std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> degraded_{0};

@@ -59,6 +59,31 @@ void ExerciseCodecs(std::span<const uint8_t> payload) {
       __builtin_trap();
     }
   }
+  GraphDelta delta;
+  uint32_t flags = 0;
+  if (DecodeUpdateRequest(payload, &delta, &flags)) {
+    GraphDelta delta2;
+    uint32_t flags2 = 0;
+    if (!DecodeUpdateRequest(EncodeUpdateRequest(delta, flags), &delta2,
+                             &flags2) ||
+        flags2 != flags || !(delta2.updates() == delta.updates())) {
+      __builtin_trap();
+    }
+  }
+  UpdateStats stats;
+  if (DecodeUpdateResponse(payload, &stats)) {
+    UpdateStats stats2;
+    if (!DecodeUpdateResponse(EncodeUpdateResponse(stats), &stats2) ||
+        stats2.applied_inserts != stats.applied_inserts ||
+        stats2.applied_deletes != stats.applied_deletes ||
+        stats2.noop_updates != stats.noop_updates ||
+        stats2.invalid_updates != stats.invalid_updates ||
+        stats2.repaired_columns != stats.repaired_columns ||
+        stats2.rebuilt_columns != stats.rebuilt_columns ||
+        stats2.deferred_columns != stats.deferred_columns) {
+      __builtin_trap();
+    }
+  }
   ErrorCode code;
   std::string message;
   (void)DecodeError(payload, &code, &message);

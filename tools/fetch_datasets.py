@@ -19,6 +19,13 @@ Unpinned entries are trust-on-first-use: the computed hash is recorded as
 <file>.sha256 next to the download and verified on later runs; pass
 --require-checksum to refuse unpinned downloads outright.
 
+Pin ratchet: `--audit` (run by the CI docs job) fails when any mirrored
+registry entry has neither a pinned sha256 nor a PIN_PENDING entry naming
+why the pin is still outstanding. Pins must come from a real download
+(`verify` prints the hash to pin) — never write a hash you did not compute
+from the fetched bytes. Once pinned, remove the PIN_PENDING entry; the
+audit also fails on stale allowlist rows so the ratchet only tightens.
+
 After fetching, the C++ side converts each raw file once into a checksummed
 binary cache (<data-dir>/cache/<name>.qbsgrf) on first use — e.g.
 
@@ -80,6 +87,23 @@ REGISTRY = {
     "epinions": ("https://snap.stanford.edu/data/soc-Epinions1.txt.gz",
                  "soc-Epinions1.txt.gz", "", 75879, 508837,
                  "small (~5 MB): the pipeline smoke dataset"),
+}
+
+# Mirrored entries allowed to ship without a pinned sha256, each with the
+# reason the pin is outstanding. A pin can only come from hashing a real
+# download (see verify's trust-on-first-use output) — this file has never
+# been populated from anything else, and --audit enforces that every
+# mirrored entry is either pinned or consciously listed here. When a pin
+# lands, delete the entry; leaving it behind fails the audit.
+PIN_PENDING = {
+    "dblp": "pin pending first networked fetch from the SNAP mirror",
+    "youtube": "pin pending first networked fetch from the SNAP mirror",
+    "wikitalk": "pin pending first networked fetch from the SNAP mirror",
+    "skitter": "pin pending first networked fetch from the SNAP mirror",
+    "livejournal": "pin pending first networked fetch from the SNAP mirror",
+    "orkut": "pin pending first networked fetch from the SNAP mirror",
+    "friendster": "pin pending first networked fetch from the SNAP mirror",
+    "epinions": "pin pending first networked fetch from the SNAP mirror",
 }
 
 CHUNK = 1 << 20  # 1 MiB read/hash granularity
@@ -219,6 +243,45 @@ def verify(name, dest, pinned, require_checksum):
               f"src/workload/datasets.cc to make this tamper-evident")
 
 
+def audit():
+    """Pin ratchet (CI docs job). Exit non-zero unless every mirrored
+    registry entry has a pinned sha256 or a PIN_PENDING reason, and every
+    PIN_PENDING row still points at an unpinned mirrored entry."""
+    problems = []
+    pinned = unpinned = 0
+    for name, (url, _, pin, *_rest) in REGISTRY.items():
+        if not url:
+            continue  # manual-fetch entries have nothing to pin
+        if pin:
+            pinned += 1
+            if len(pin) != 64 or any(c not in "0123456789abcdef"
+                                     for c in pin):
+                problems.append(f"{name}: pinned value is not a lowercase "
+                                f"hex sha256: {pin!r}")
+            if name in PIN_PENDING:
+                problems.append(f"{name}: pinned but still in PIN_PENDING "
+                                "— remove the stale allowlist entry")
+        else:
+            unpinned += 1
+            if name not in PIN_PENDING:
+                problems.append(f"{name}: mirrored entry has no pinned "
+                                "sha256 and no PIN_PENDING reason")
+            elif not PIN_PENDING[name].strip():
+                problems.append(f"{name}: PIN_PENDING reason is empty")
+    for name in PIN_PENDING:
+        if name not in REGISTRY:
+            problems.append(f"PIN_PENDING names unknown dataset '{name}'")
+        elif not REGISTRY[name][0]:
+            problems.append(f"PIN_PENDING lists '{name}', which has no "
+                            "mirror and needs no pin")
+    print(f"audit: {pinned} pinned, {unpinned} awaiting a pin "
+          f"(allowlisted), {len(problems)} problem(s)")
+    if problems:
+        for p in problems:
+            print(f"  FAIL {p}", file=sys.stderr)
+        sys.exit(1)
+
+
 def main():
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -239,8 +302,15 @@ def main():
     parser.add_argument("--require-checksum", action="store_true",
                         help="fail on datasets without a pinned sha256 "
                         "instead of trust-on-first-use")
+    parser.add_argument("--audit", action="store_true",
+                        help="offline pin ratchet: fail unless every "
+                        "mirrored entry is pinned or allowlisted in "
+                        "PIN_PENDING (no network touched)")
     args = parser.parse_args()
 
+    if args.audit:
+        audit()
+        return
     if args.list:
         list_datasets(args.data_dir)
         return

@@ -6,6 +6,7 @@
 //   qbs query    <graph> <index.qbs|-> [pairs | --requests F] [opts]
 //   qbs serve    <graph> <index.qbs|-> [opts]     long-lived query daemon
 //   qbs load     <graph> <host> <port> [opts]     drive a daemon with load
+//   qbs update   <host> <port> [edits | --file F] send edge edits to a daemon
 //   qbs datasets                                  list the dataset registry
 //
 // <graph> is an edge-list path (".gz" decompressed on the fly) or
@@ -82,7 +83,7 @@ int Usage() {
       "       qbs serve <graph> <index.qbs|-> [--host H] [--port P] "
       "[--max-inflight N] [--max-queue N]\n"
       "                 [--max-conns N] [--cache-mb MB] "
-      "[--no-remote-shutdown]\n"
+      "[--no-remote-shutdown] [--updatable]\n"
       "                 [--read-timeout-ms MS] [--idle-timeout-ms MS] "
       "[--degrade-after-inflight N]\n"
       "       qbs load <graph> <host> <port> [--queries N] [--pairs N] "
@@ -90,6 +91,8 @@ int Usage() {
       "                 [--mode spg|distance] [--budget N] [--rate QPS] "
       "[--burst F] [--deadline-ms MS]\n"
       "                 [--no-cache] [--shutdown]\n"
+      "       qbs update <host> <port> [--insert U V]... [--delete U V]... "
+      "[--file F|-] [--defer]\n"
       "       qbs datasets\n"
       "<graph>: an edge-list path (.gz ok) or dataset:<name> "
       "(see `qbs datasets`)\n");
@@ -522,6 +525,7 @@ void OnSignal(int sig) { g_signal.store(sig); }
 int Serve(int argc, char** argv) {
   if (argc < 2) return Usage();
   qbs::server::ServerOptions options;
+  bool updatable = false;
   for (int i = 2; i < argc; ++i) {
     // Accept underscore spellings too (--read_timeout_ms et al.).
     std::string a = argv[i];
@@ -540,6 +544,8 @@ int Serve(int argc, char** argv) {
       options.cache_bytes = static_cast<size_t>(ArgU64(argv[++i])) << 20;
     } else if (a == "--no-remote-shutdown") {
       options.allow_remote_shutdown = false;
+    } else if (a == "--updatable") {
+      updatable = true;
     } else if (a == "--read-timeout-ms" && i + 1 < argc) {
       options.read_timeout_ms = static_cast<uint32_t>(ArgU64(argv[++i]));
     } else if (a == "--idle-timeout-ms" && i + 1 < argc) {
@@ -559,6 +565,12 @@ int Serve(int argc, char** argv) {
   if (!g.has_value()) return 1;
   auto index = LoadOrBuildIndex(*g, argv[1]);
   if (!index.has_value()) return 1;
+  if (updatable) {
+    // Snapshots per-landmark BFS state so kUpdateRequest frames can repair
+    // columns incrementally instead of rebuilding the index.
+    index->EnableUpdates(&*g);
+    options.allow_updates = true;
+  }
 
   qbs::server::QueryServer server(*index, options);
   std::string error;
@@ -585,9 +597,10 @@ int Serve(int argc, char** argv) {
 
   const auto stats = server.GetStats();
   std::printf(
-      "qbs serve: stopped after %llu queries (%llu busy, %llu bad, "
-      "%llu protocol errors, %llu connections)\n",
+      "qbs serve: stopped after %llu queries, %llu updates (%llu busy, "
+      "%llu bad, %llu protocol errors, %llu connections)\n",
       static_cast<unsigned long long>(stats.queries),
+      static_cast<unsigned long long>(stats.updates),
       static_cast<unsigned long long>(stats.busy_rejections),
       static_cast<unsigned long long>(stats.bad_requests),
       static_cast<unsigned long long>(stats.protocol_errors),
@@ -616,6 +629,113 @@ int Serve(int argc, char** argv) {
   print_class("cached", stats.lat_cached);
   print_class("short", stats.lat_short);
   print_class("long", stats.lat_long);
+  return 0;
+}
+
+// Parses one edit per line: "i u v" / "insert u v" adds an edge,
+// "d u v" / "delete u v" removes one. Blank lines and '#' comments skip.
+bool ParseEditLine(const std::string& line, qbs::GraphDelta* delta,
+                   std::string* error) {
+  std::istringstream in(line);
+  std::string op_tok, u_tok, v_tok;
+  if (!(in >> op_tok >> u_tok >> v_tok)) {
+    *error = "expected 'i|d u v'";
+    return false;
+  }
+  const auto u = static_cast<qbs::VertexId>(ArgU64(u_tok.c_str()));
+  const auto v = static_cast<qbs::VertexId>(ArgU64(v_tok.c_str()));
+  if (op_tok == "i" || op_tok == "insert") {
+    delta->Insert(u, v);
+  } else if (op_tok == "d" || op_tok == "delete") {
+    delta->Delete(u, v);
+  } else {
+    *error = "unknown op '" + op_tok + "' (want i|d)";
+    return false;
+  }
+  return true;
+}
+
+int Update(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string host = argv[0];
+  const auto port = static_cast<uint16_t>(ArgU64(argv[1]));
+  qbs::GraphDelta delta;
+  std::string file_path;
+  uint32_t flags = 0;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    std::replace(a.begin(), a.end(), '_', '-');
+    if (a == "--insert" && i + 2 < argc) {
+      const auto u = static_cast<qbs::VertexId>(ArgU64(argv[++i]));
+      const auto v = static_cast<qbs::VertexId>(ArgU64(argv[++i]));
+      delta.Insert(u, v);
+    } else if (a == "--delete" && i + 2 < argc) {
+      const auto u = static_cast<qbs::VertexId>(ArgU64(argv[++i]));
+      const auto v = static_cast<qbs::VertexId>(ArgU64(argv[++i]));
+      delta.Delete(u, v);
+    } else if (a == "--file" && i + 1 < argc) {
+      file_path = argv[++i];
+    } else if (a == "--defer") {
+      flags |= qbs::server::kUpdateFlagDefer;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      return 2;
+    }
+  }
+  if (!file_path.empty()) {
+    std::ifstream file;
+    std::istream* in = &std::cin;
+    if (file_path != "-") {
+      file.open(file_path);
+      if (!file) {
+        std::fprintf(stderr, "cannot read %s\n", file_path.c_str());
+        return 1;
+      }
+      in = &file;
+    }
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(*in, line)) {
+      ++line_no;
+      const size_t start = line.find_first_not_of(" \t\r");
+      if (start == std::string::npos || line[start] == '#') continue;
+      std::string error;
+      if (!ParseEditLine(line, &delta, &error)) {
+        std::fprintf(stderr, "%s:%zu: %s\n", file_path.c_str(), line_no,
+                     error.c_str());
+        return 1;
+      }
+    }
+  }
+  if (delta.empty()) {
+    std::fprintf(stderr, "qbs update: no edits given\n");
+    return 2;
+  }
+
+  qbs::server::QueryClient client;
+  if (!client.Connect(host, port)) {
+    std::fprintf(stderr, "qbs update: connect failed: %s\n",
+                 client.last_error().c_str());
+    return 1;
+  }
+  qbs::UpdateStats stats;
+  qbs::WallTimer timer;
+  const auto status = client.Update(delta, &stats, flags);
+  if (status != qbs::server::QueryClient::RpcStatus::kOk) {
+    std::fprintf(stderr, "qbs update: %s\n", client.last_error().c_str());
+    return 1;
+  }
+  std::printf(
+      "qbs update: applied %llu inserts, %llu deletes "
+      "(%llu no-ops, %llu invalid) in %.3fms\n",
+      static_cast<unsigned long long>(stats.applied_inserts),
+      static_cast<unsigned long long>(stats.applied_deletes),
+      static_cast<unsigned long long>(stats.noop_updates),
+      static_cast<unsigned long long>(stats.invalid_updates),
+      timer.ElapsedMillis());
+  std::printf("  columns: %u repaired, %u rebuilt, %u deferred\n",
+              stats.repaired_columns, stats.rebuilt_columns,
+              stats.deferred_columns);
   return 0;
 }
 
@@ -802,6 +922,7 @@ int main(int argc, char** argv) {
   if (cmd == "query") return Query(argc - 2, argv + 2);
   if (cmd == "serve") return Serve(argc - 2, argv + 2);
   if (cmd == "load") return Load(argc - 2, argv + 2);
+  if (cmd == "update") return Update(argc - 2, argv + 2);
   if (cmd == "datasets") return Datasets();
   return Usage();
 }
