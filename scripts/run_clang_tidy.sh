@@ -1,18 +1,26 @@
 #!/usr/bin/env bash
-# Runs clang-tidy (.clang-tidy config) over src/ translation units against
-# a compile_commands.json, warnings-as-errors.
+# Runs clang-tidy (.clang-tidy config) over EVERY src/ translation unit and
+# gates the findings against the committed .clang-tidy-baseline via
+# scripts/tidy_baseline.py: a finding absent from the baseline fails, and a
+# baseline entry that no longer fires fails too (the baseline only ratchets
+# down). This replaced the old changed-files mode — diffing against a base
+# ref let debt land whenever a header change surfaced findings in TUs the
+# diff didn't touch.
 #
-# Usage: scripts/run_clang_tidy.sh <build-dir> [base-ref]
+# Usage: scripts/run_clang_tidy.sh <build-dir> [--update-baseline]
 #
-# With a resolvable base-ref, only the files changed since the merge-base
-# are linted (a changed header pulls in its sibling .cc); without one,
-# every src/ TU is linted. CI passes the PR base (or the pre-push SHA), so
-# the warnings-as-errors gate applies exactly to the changed files.
+# Run from the repository root against a build dir configured with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON. CLANG_TIDY overrides the binary
+# (CI pins clang-tidy-18 — see docs/LINT.md); TIDY_JOBS the parallelism.
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
-BASE_REF=${2:-}
+MODE=check
+if [ "${2:-}" = "--update-baseline" ]; then
+  MODE=update
+fi
 TIDY=${CLANG_TIDY:-clang-tidy}
+JOBS=${TIDY_JOBS:-$(nproc)}
 
 if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
   echo "run_clang_tidy: $BUILD_DIR/compile_commands.json not found" \
@@ -20,35 +28,20 @@ if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
   exit 2
 fi
 
-declare -a files=()
-if [ -n "$BASE_REF" ] && git rev-parse -q --verify "$BASE_REF^{commit}" \
-     > /dev/null 2>&1; then
-  base=$(git merge-base "$BASE_REF" HEAD)
-  changed=$(git diff --name-only --diff-filter=d "$base" HEAD \
-              | grep -E '^src/.*\.(cc|h)$' || true)
-  declare -A seen=()
-  for f in $changed; do
-    if [[ "$f" == *.h ]]; then
-      # Lint the header through its sibling TU when one exists; the
-      # HeaderFilterRegex surfaces header diagnostics either way.
-      f="${f%.h}.cc"
-      [ -f "$f" ] || continue
-    fi
-    if [ -z "${seen[$f]:-}" ]; then
-      seen[$f]=1
-      files+=("$f")
-    fi
-  done
-  if [ ${#files[@]} -eq 0 ]; then
-    echo "run_clang_tidy: no src/ files changed since $base; nothing to lint"
-    exit 0
-  fi
-  echo "run_clang_tidy: linting ${#files[@]} changed file(s) since $base"
-else
-  while IFS= read -r f; do files+=("$f"); done \
-    < <(find src -name '*.cc' | sort)
-  echo "run_clang_tidy: no base ref; linting all ${#files[@]} src/ TUs"
-fi
-
+mapfile -t files < <(find src -name '*.cc' | sort)
+echo "run_clang_tidy: linting all ${#files[@]} src/ TUs ($MODE mode)"
 "$TIDY" --version
-"$TIDY" -p "$BUILD_DIR" --warnings-as-errors='*' "${files[@]}"
+
+# One log per TU so parallel runs can't tear diagnostic lines mid-write
+# (tidy_baseline.py would silently miss a torn finding). clang-tidy's exit
+# code is ignored on purpose: the baseline comparison is the gate.
+logdir=$(mktemp -d)
+trap 'rm -rf "$logdir"' EXIT
+printf '%s\n' "${files[@]}" \
+  | xargs -P "$JOBS" -I{} sh -c \
+      'out="$1/$(printf %s {} | tr / _).log"; \
+       "$2" -p "$3" {} > "$out" 2>&1 || true' \
+      _ "$logdir" "$TIDY" "$BUILD_DIR"
+
+cat "$logdir"/*.log \
+  | python3 scripts/tidy_baseline.py "$MODE" --baseline .clang-tidy-baseline

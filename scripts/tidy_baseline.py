@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Gates clang-tidy output against the committed .clang-tidy-baseline.
+
+Findings are normalized to (repo-relative file, check) pairs — line numbers
+deliberately excluded, so reflowing code doesn't churn the baseline while a
+NEW check firing in a file is always a failure. The baseline is a ratchet
+in both directions:
+
+  * a pair in the output but not the baseline  -> fail (new debt)
+  * a pair in the baseline but not the output  -> fail (stale entry:
+    the debt was paid, delete the line so it can't silently return)
+
+The baseline is empty today; `update` mode exists for the day a
+clang-tidy upgrade lands findings that can't be fixed in the same PR.
+
+Usage:
+  clang-tidy ... | tidy_baseline.py check  --baseline .clang-tidy-baseline
+  clang-tidy ... | tidy_baseline.py update --baseline .clang-tidy-baseline
+
+Exit codes: 0 clean, 1 new/stale findings (check mode), 2 usage.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# "path:line:col: warning: message [check-a,check-b]"
+DIAG_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):\d+:\d+:\s+(?:warning|error):\s.*"
+    r"\[(?P<checks>[\w.,-]+)\]\s*$"
+)
+
+
+def parse_findings(lines, root):
+    pairs = set()
+    for line in lines:
+        m = DIAG_RE.match(line.rstrip("\n"))
+        if m is None:
+            continue
+        path = pathlib.Path(m.group("path"))
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            continue  # system/third-party header: not our debt
+        for check in m.group("checks").split(","):
+            check = check.strip()
+            # clang-diagnostic-* are compiler warnings, owned by QBS_WERROR
+            # builds rather than the tidy baseline.
+            if check and not check.startswith("clang-diagnostic"):
+                pairs.add((rel, check))
+    return pairs
+
+
+def read_baseline(path):
+    pairs = set()
+    if path.exists():
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            file_part, _, check = line.partition("\t")
+            if check:
+                pairs.add((file_part, check))
+    return pairs
+
+
+def write_baseline(path, pairs):
+    lines = [
+        "# clang-tidy debt baseline: one 'file<TAB>check' pair per line.",
+        "# Managed by scripts/tidy_baseline.py (scripts/run_clang_tidy.sh",
+        "# --update-baseline); entries may only be deleted by fixing the",
+        "# finding — stale entries fail the gate.",
+    ]
+    lines += [f"{f}\t{c}" for f, c in sorted(pairs)]
+    path.write_text("\n".join(lines) + "\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("mode", choices=["check", "update"])
+    parser.add_argument("--baseline", required=True, type=pathlib.Path)
+    parser.add_argument(
+        "--root",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent,
+    )
+    args = parser.parse_args()
+
+    found = parse_findings(sys.stdin, args.root)
+
+    if args.mode == "update":
+        write_baseline(args.baseline, found)
+        print(f"tidy_baseline: wrote {len(found)} pair(s) to {args.baseline}")
+        return 0
+
+    baseline = read_baseline(args.baseline)
+    new = sorted(found - baseline)
+    stale = sorted(baseline - found)
+    for file_part, check in new:
+        print(f"NEW  {file_part}: [{check}] not in baseline")
+    for file_part, check in stale:
+        print(
+            f"STALE  {file_part}: [{check}] no longer fires — "
+            f"delete its line from {args.baseline}"
+        )
+    if new or stale:
+        print(
+            f"tidy_baseline: {len(new)} new, {len(stale)} stale "
+            f"(baseline has {len(baseline)}, run found {len(found)})"
+        )
+        return 1
+    print(f"tidy_baseline: clean ({len(found)} baselined finding(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

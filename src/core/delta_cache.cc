@@ -1,6 +1,5 @@
 #include "core/delta_cache.h"
 
-#include <mutex>
 #include <unordered_set>
 
 #include "util/check.h"

@@ -130,7 +130,7 @@ QbsIndex::SearcherLease::SearcherLease(QbsIndex& index, size_t count)
     : index_(index) {
   searchers_.reserve(count);
   {
-    std::lock_guard<std::mutex> lock(*index_.batch_searchers_mu_);
+    MutexLock lock(*index_.batch_searchers_mu_);
     while (!index_.batch_searchers_.empty() && searchers_.size() < count) {
       searchers_.push_back(std::move(index_.batch_searchers_.back()));
       index_.batch_searchers_.pop_back();
@@ -148,7 +148,7 @@ QbsIndex::SearcherLease::SearcherLease(QbsIndex& index, size_t count)
     // A failed top-up (searcher construction is O(|V|) of allocation) must
     // not eat what was already checked out: the destructor will not run
     // for a throwing constructor, so check everything back in here.
-    std::lock_guard<std::mutex> lock(*index_.batch_searchers_mu_);
+    MutexLock lock(*index_.batch_searchers_mu_);
     for (auto& s : searchers_) {
       index_.batch_searchers_.push_back(std::move(s));
     }
@@ -157,14 +157,14 @@ QbsIndex::SearcherLease::SearcherLease(QbsIndex& index, size_t count)
 }
 
 QbsIndex::SearcherLease::~SearcherLease() {
-  std::lock_guard<std::mutex> lock(*index_.batch_searchers_mu_);
+  MutexLock lock(*index_.batch_searchers_mu_);
   for (auto& s : searchers_) {
     index_.batch_searchers_.push_back(std::move(s));
   }
 }
 
 size_t QbsIndex::BatchSearcherPoolSize() const {
-  std::lock_guard<std::mutex> lock(*batch_searchers_mu_);
+  MutexLock lock(*batch_searchers_mu_);
   return batch_searchers_.size();
 }
 

@@ -16,7 +16,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -34,6 +33,7 @@
 #include "graph/graph.h"
 #include "graph/graph_delta.h"
 #include "graph/spg.h"
+#include "util/sync.h"
 
 namespace qbs {
 
@@ -278,9 +278,12 @@ class QbsIndex {
   /// batches (a searcher holds O(|V|) scratch; rebuilding per batch would
   /// dominate small batches). Each call checks out what it needs under the
   /// mutex, so concurrent QueryBatch calls never share a searcher.
-  std::unique_ptr<std::mutex> batch_searchers_mu_ =
-      std::make_unique<std::mutex>();
-  std::vector<std::unique_ptr<GuidedSearcher>> batch_searchers_;
+  /// Heap-allocated because Mutex is immovable and QbsIndex is movable;
+  /// the capability follows the unique_ptr, so annotations deref it.
+  std::unique_ptr<Mutex> batch_searchers_mu_ =
+      std::make_unique<Mutex>(LockRank::kSearcherPool);
+  std::vector<std::unique_ptr<GuidedSearcher>> batch_searchers_
+      QBS_GUARDED_BY(*batch_searchers_mu_);
   QbsBuildTimings timings_;
   /// Mask-guided pruning setting applied to every searcher this index
   /// constructs (QbsOptions::mask_prune).

@@ -35,6 +35,13 @@
 // The meta-graph is rebuilt from the per-column meta lists each batch
 // (|R|^2 edges — negligible); with deferred columns in play, conflicting
 // stale weights resolve to the minimum, restored exactly on consolidation.
+//
+// Concurrency: nothing here takes a lock, by design. ApplyUpdates mutates
+// the labelling in place and is serialized by the caller — the server
+// holds its index_mu_ WriterLock (rank kIndex) across the whole batch,
+// and the parallel per-column repair it schedules on the thread pool is
+// legal under that lock precisely because the pool ranks sit above
+// kIndex. See docs/ARCHITECTURE.md §12 (Concurrency contracts).
 
 #ifndef QBS_CORE_UPDATABLE_INDEX_H_
 #define QBS_CORE_UPDATABLE_INDEX_H_

@@ -110,8 +110,9 @@ bool QueryClient::SendFrame(FrameType type, std::span<const uint8_t> payload) {
   const IoStatus status = sock_.SendAll(frame, options_.write_timeout_ms);
   if (status != IoStatus::kOk) {
     last_error_ = std::string("send: ") +
-                  (status == IoStatus::kTimeout ? "timed out"
-                                                : strerror(sock_.last_errno()));
+                  (status == IoStatus::kTimeout
+                       ? "timed out"
+                       : ErrnoString(sock_.last_errno()));
     return false;
   }
   return true;
@@ -141,7 +142,7 @@ bool QueryClient::ReadFrame(Frame* reply) {
           last_error_ = "connection closed by server";
           break;
         default:
-          last_error_ = std::string("recv: ") + strerror(sock_.last_errno());
+          last_error_ = std::string("recv: ") + ErrnoString(sock_.last_errno());
           break;
       }
       return false;

@@ -1,6 +1,7 @@
 // Lock-free log-bucketed latency histogram for the serving hot path.
 //
-// Record() is two relaxed atomic increments — safe from any number of
+// Record() is two atomic increments (relaxed bucket, release total — see
+// the Snapshot ordering contract below) — safe from any number of
 // connection threads with no mutex on the query path. Buckets are
 // half-open powers of two in nanoseconds (bucket i covers [2^i, 2^(i+1))
 // ns, bucket 0 covers [0, 2) ns), so percentile estimates carry at most
@@ -25,11 +26,19 @@ class LatencyHistogram {
     const size_t bucket =
         nanos == 0 ? 0 : static_cast<size_t>(std::bit_width(nanos) - 1);
     buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
-    total_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+    // Release pairs with GetSnapshot's acquire load of total_nanos_: a
+    // snapshot that observes this sample in the total also observes its
+    // bucket increment above.
+    total_nanos_.fetch_add(nanos, std::memory_order_release);
   }
 
-  /// A consistent-enough copy for reporting (concurrent Records may or may
-  /// not be included; never torn per bucket).
+  /// A copy for reporting with an ordering contract (asserted by
+  /// latency_histogram_test): concurrent Records may or may not be
+  /// included and no bucket is ever torn, but every sample summed into
+  /// total_nanos has its bucket increment included in count — so
+  /// count >= "samples in total_nanos" and MeanMillis() never divides by
+  /// an undercounted denominator. After all recording threads are joined
+  /// (the shutdown stats dump), the snapshot is exact.
   struct Snapshot {
     std::array<uint64_t, kBuckets> buckets{};
     uint64_t count = 0;
@@ -64,11 +73,16 @@ class LatencyHistogram {
 
   Snapshot GetSnapshot() const {
     Snapshot snap;
+    // total_nanos_ FIRST, with acquire: it synchronizes with the release
+    // fetch_add in Record, making every bucket increment of every sample
+    // counted in the total visible to the relaxed loads below. (Loading
+    // buckets first could observe a total that includes samples whose
+    // bucket increments the loads already missed.)
+    snap.total_nanos = total_nanos_.load(std::memory_order_acquire);
     for (size_t i = 0; i < kBuckets; ++i) {
       snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
       snap.count += snap.buckets[i];
     }
-    snap.total_nanos = total_nanos_.load(std::memory_order_relaxed);
     return snap;
   }
 

@@ -31,7 +31,7 @@ size_t ResultCache::ChargedBytes(const Entry& e) {
 bool ResultCache::Lookup(const QueryRequest& request, QueryResponse* out) {
   const Key key = MakeKey(request);
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
@@ -55,7 +55,7 @@ void ResultCache::Insert(const QueryRequest& request,
   if (shard_capacity_ == 0) return;
   const Key key = MakeKey(request);
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     // Refresh in place (deterministic queries make this a no-op payload-
@@ -91,24 +91,26 @@ void ResultCache::Insert(const QueryRequest& request,
 
 ResultCache::Stats ResultCache::GetStats() const {
   Stats stats;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    stats.hits += shard->hits;
-    stats.misses += shard->misses;
-    stats.insertions += shard->insertions;
-    stats.evictions += shard->evictions;
-    stats.entries += shard->lru.size();
-    stats.bytes += shard->bytes;
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    MutexLock lock(shard.mu);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.insertions += shard.insertions;
+    stats.evictions += shard.evictions;
+    stats.entries += shard.lru.size();
+    stats.bytes += shard.bytes;
   }
   return stats;
 }
 
 void ResultCache::Clear() {
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    shard->lru.clear();
-    shard->index.clear();
-    shard->bytes = 0;
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    MutexLock lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
   }
 }
 

@@ -26,11 +26,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/query_api.h"
+#include "util/sync.h"
 
 namespace qbs::server {
 
@@ -110,15 +110,18 @@ class ResultCache {
   };
 
   struct Shard {
-    std::mutex mu;
+    // Shard locks never nest with each other (GetStats/Clear hold one at a
+    // time), so a single rank covers all shards.
+    Mutex mu{LockRank::kResultCacheShard};
     // MRU at front; Entry owned by the list, map points into it.
-    std::list<Entry> lru;
-    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
-    size_t bytes = 0;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t insertions = 0;
-    uint64_t evictions = 0;
+    std::list<Entry> lru QBS_GUARDED_BY(mu);
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index
+        QBS_GUARDED_BY(mu);
+    size_t bytes QBS_GUARDED_BY(mu) = 0;
+    uint64_t hits QBS_GUARDED_BY(mu) = 0;
+    uint64_t misses QBS_GUARDED_BY(mu) = 0;
+    uint64_t insertions QBS_GUARDED_BY(mu) = 0;
+    uint64_t evictions QBS_GUARDED_BY(mu) = 0;
   };
 
   static Key MakeKey(const QueryRequest& request);

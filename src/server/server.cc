@@ -1,11 +1,5 @@
 #include "server/server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
@@ -70,64 +64,79 @@ AdmissionGate::Ticket AdmissionGate::Acquire(size_t* queue_depth) {
 
 AdmissionGate::Ticket AdmissionGate::AcquireFor(int64_t timeout_ms,
                                                 size_t* queue_depth) {
-  std::unique_lock<std::mutex> lock(mu_);
-  const auto report = [&](Ticket t) {
+  // Waits are explicit predicate loops (not wait(lock, pred) lambdas) so
+  // the guarded-field reads stay inside this function's analyzed critical
+  // section; queue_depth is reported inline at each decision point for the
+  // same reason.
+  MutexLock lock(mu_);
+  if (shutdown_) {
     if (queue_depth != nullptr) *queue_depth = waiters_;
-    return t;
-  };
-  if (shutdown_) return report(Ticket::kShutdown);
+    return Ticket::kShutdown;
+  }
   if (inflight_ < max_inflight_) {
     ++inflight_;
-    return report(Ticket::kAdmitted);
+    if (queue_depth != nullptr) *queue_depth = waiters_;
+    return Ticket::kAdmitted;
   }
   if (waiters_ >= max_queue_ || timeout_ms == 0) {
     ++rejected_;
-    return report(Ticket::kRejected);
+    if (queue_depth != nullptr) *queue_depth = waiters_;
+    return Ticket::kRejected;
   }
   ++waiters_;
-  const auto admissible = [&] { return shutdown_ || inflight_ < max_inflight_; };
-  bool woke = true;
+  bool admissible = true;
   if (timeout_ms < 0) {
-    cv_.wait(lock, admissible);
+    while (!shutdown_ && inflight_ >= max_inflight_) cv_.Wait(mu_);
   } else {
-    woke = cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                        admissible);
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (!shutdown_ && inflight_ >= max_inflight_) {
+      if (!cv_.WaitUntil(mu_, deadline)) break;
+    }
+    admissible = shutdown_ || inflight_ < max_inflight_;
   }
   --waiters_;
-  if (shutdown_) return report(Ticket::kShutdown);
-  if (!woke) return report(Ticket::kTimedOut);
+  if (shutdown_) {
+    if (queue_depth != nullptr) *queue_depth = waiters_;
+    return Ticket::kShutdown;
+  }
+  if (!admissible) {
+    if (queue_depth != nullptr) *queue_depth = waiters_;
+    return Ticket::kTimedOut;
+  }
   ++inflight_;
-  return report(Ticket::kAdmitted);
+  if (queue_depth != nullptr) *queue_depth = waiters_;
+  return Ticket::kAdmitted;
 }
 
 void AdmissionGate::Release() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --inflight_;
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void AdmissionGate::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 size_t AdmissionGate::inflight() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return inflight_;
 }
 
 size_t AdmissionGate::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return waiters_;
 }
 
 uint64_t AdmissionGate::rejected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return rejected_;
 }
 
@@ -147,76 +156,40 @@ QueryServer::QueryServer(QbsIndex& index, const ServerOptions& options)
 QueryServer::~QueryServer() { Stop(); }
 
 bool QueryServer::Start(std::string* error) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    if (error != nullptr) *error = std::string("socket: ") + strerror(errno);
-    return false;
-  }
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-    if (error != nullptr) *error = "bad listen address: " + options_.host;
-    ::close(fd);
-    return false;
-  }
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    if (error != nullptr) *error = std::string("bind: ") + strerror(errno);
-    ::close(fd);
-    return false;
-  }
-  if (::listen(fd, 128) != 0) {
-    if (error != nullptr) *error = std::string("listen: ") + strerror(errno);
-    ::close(fd);
-    return false;
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
-      0) {
-    if (error != nullptr) {
-      *error = std::string("getsockname: ") + strerror(errno);
-    }
-    ::close(fd);
-    return false;
-  }
-  listen_fd_ = fd;
-  port_ = ntohs(bound.sin_port);
+  if (!listener_.Open(options_.host, options_.port, error)) return false;
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return true;
 }
 
 void QueryServer::RequestStop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stop_requested_) return;
     stop_requested_ = true;
     stopping_.store(true, std::memory_order_release);
     // Notified under mu_ so a woken Wait()/WaitFor() caller cannot return
     // and destroy the server (and this cv) before the broadcast finishes.
-    stop_cv_.notify_all();
+    stop_cv_.NotifyAll();
   }
   gate_.Shutdown();
-  // Wake the accept loop (shutdown on a listening socket unblocks accept()
-  // on Linux) and every blocked connection recv.
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  // Wake the accept loop and every blocked connection recv.
+  listener_.Shutdown();
+  MutexLock lock(mu_);
+  for (const int fd : conn_fds_) ShutdownFd(fd);
 }
 
 void QueryServer::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  stop_cv_.wait(lock, [&] { return stop_requested_; });
+  MutexLock lock(mu_);
+  while (!stop_requested_) stop_cv_.Wait(mu_);
 }
 
 bool QueryServer::WaitFor(uint32_t timeout_ms) {
-  std::unique_lock<std::mutex> lock(mu_);
-  return stop_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                           [&] { return stop_requested_; });
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  MutexLock lock(mu_);
+  while (!stop_requested_) {
+    if (!stop_cv_.WaitUntil(mu_, deadline)) break;
+  }
+  return stop_requested_;
 }
 
 void QueryServer::Stop() {
@@ -225,29 +198,23 @@ void QueryServer::Stop() {
   {
     // Connection threads are detached; wait for them to drain after their
     // sockets were shut down in RequestStop().
-    std::unique_lock<std::mutex> lock(mu_);
-    drain_cv_.wait(lock, [&] { return active_connections_ == 0; });
+    MutexLock lock(mu_);
+    while (active_connections_ != 0) drain_cv_.Wait(mu_);
   }
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
+  listener_.Close();
 }
 
 void QueryServer::AcceptLoop() {
   while (!stopping_.load(std::memory_order_acquire)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listener shut down (or unrecoverable) — stop accepting
-    }
+    const int fd = listener_.Accept();
+    if (fd < 0) break;  // listener shut down (or unrecoverable)
     if (stopping_.load(std::memory_order_acquire)) {
-      ::close(fd);
+      CloseFd(fd);
       break;
     }
     bool admitted = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (conn_fds_.size() < options_.max_connections) {
         conn_fds_.insert(fd);
         ++active_connections_;
@@ -256,13 +223,11 @@ void QueryServer::AcceptLoop() {
     }
     if (!admitted) {
       connections_rejected_.fetch_add(1, std::memory_order_relaxed);
-      ::close(fd);
+      CloseFd(fd);
       continue;
     }
     const uint64_t conn_id =
         connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     std::thread([this, fd, conn_id] { HandleConnection(fd, conn_id); })
         .detach();
   }
@@ -274,6 +239,7 @@ void QueryServer::HandleConnection(int fd, uint64_t conn_id) {
     // Stop() must not observe active_connections_ == 0 while the fd is
     // still open (and conn_fds_ must not reference a closed fd).
     Socket sock(fd);
+    sock.SetNoDelay();
     std::unique_ptr<FaultInjector> injector;
     if (options_.fault_injector_factory) {
       injector = options_.fault_injector_factory(conn_id);
@@ -334,13 +300,13 @@ void QueryServer::HandleConnection(int fd, uint64_t conn_id) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     conn_fds_.erase(fd);
     --active_connections_;
     // Notified under mu_: once the count hits zero a Stop() waiter may
     // destroy the server, so the broadcast must complete before the lock
     // — and with it the waiter's ability to proceed — is released.
-    drain_cv_.notify_all();
+    drain_cv_.NotifyAll();
   }
 }
 
@@ -468,7 +434,7 @@ bool QueryServer::ServeQuery(Socket& sock, FaultInjector* injector,
     // an update (writer) can therefore never interleave between this
     // query's execution and its insert, so the post-update cache clear is
     // final — no stale response sneaks in behind it.
-    std::shared_lock<std::shared_mutex> read_lock(index_mu_);
+    ReaderLock read_lock(index_mu_);
     if (cacheable) cache_hit = cache_.Lookup(request, &response);
     if (!cache_hit) {
       {
@@ -499,7 +465,7 @@ bool QueryServer::ServeDegraded(Socket& sock, const QueryRequest& request) {
   const uint64_t start = NowNanos();
   // Same reader discipline as ServeQuery: the labelling read and the cache
   // lookup/insert must not interleave with an update's apply + clear.
-  std::shared_lock<std::shared_mutex> read_lock(index_mu_);
+  ReaderLock read_lock(index_mu_);
   QueryResponse response;
   // A cache hit is cheaper than the label scan and exact — serve it even
   // under saturation.
@@ -559,7 +525,9 @@ bool QueryServer::ServeUpdate(Socket& sock, const GraphDelta& delta,
     // Writer side: queries drain, the delta applies, and the cache is
     // cleared before any reader can run again — so no answer computed (or
     // cached) against the pre-update index is ever served afterwards.
-    std::unique_lock<std::shared_mutex> write_lock(index_mu_);
+    // ApplyUpdates schedules pool work while this is held — legal because
+    // the pool ranks (kThreadPool*) sit above kIndex.
+    WriterLock write_lock(index_mu_);
     UpdateOptions opt;
     opt.consolidate = (flags & kUpdateFlagDefer) == 0;
     stats = index_.ApplyUpdates(delta, opt);
@@ -602,7 +570,7 @@ QueryServer::StatsSnapshot QueryServer::GetStats() const {
   snap.connections_rejected =
       connections_rejected_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     snap.active_connections = active_connections_;
   }
   snap.admission_inflight = gate_.inflight();

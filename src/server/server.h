@@ -40,12 +40,9 @@
 #define QBS_SERVER_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
@@ -57,6 +54,7 @@
 #include "server/protocol.h"
 #include "server/result_cache.h"
 #include "server/socket.h"
+#include "util/sync.h"
 
 namespace qbs::server {
 
@@ -94,14 +92,14 @@ class AdmissionGate {
   uint64_t rejected() const;
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable Mutex mu_{LockRank::kAdmission};
+  CondVar cv_;
   const size_t max_inflight_;
   const size_t max_queue_;
-  size_t inflight_ = 0;
-  size_t waiters_ = 0;
-  uint64_t rejected_ = 0;
-  bool shutdown_ = false;
+  size_t inflight_ QBS_GUARDED_BY(mu_) = 0;
+  size_t waiters_ QBS_GUARDED_BY(mu_) = 0;
+  uint64_t rejected_ QBS_GUARDED_BY(mu_) = 0;
+  bool shutdown_ QBS_GUARDED_BY(mu_) = false;
 };
 
 struct ServerOptions {
@@ -167,7 +165,7 @@ class QueryServer {
   bool Start(std::string* error = nullptr);
 
   /// The bound port (valid after Start()).
-  uint16_t port() const { return port_; }
+  uint16_t port() const { return listener_.bound_port(); }
 
   /// Asks the server to stop: no new connections, admission waiters woken,
   /// existing connection sockets shut down. Does not join — call Stop().
@@ -235,11 +233,16 @@ class QueryServer {
   /// Readers: every query path that touches the index or the result cache
   /// (lookup through insert, one critical section — so a pre-update
   /// response can never be inserted after the post-update cache clear).
-  /// Writer: ServeUpdate, which clears the cache before unlocking.
-  mutable std::shared_mutex index_mu_;
+  /// Writer: ServeUpdate, which clears the cache before unlocking. The
+  /// index_ and cache_ members above are governed by this capability
+  /// through that reader/writer protocol rather than per-field
+  /// QBS_GUARDED_BY (the cache has its own internal shard locks, and the
+  /// index is read-shared), so the contract is enforced by review plus
+  /// the lock-rank checker: kIndex sits below the shard, searcher-pool,
+  /// and thread-pool ranks it is held across.
+  mutable SharedMutex index_mu_{LockRank::kIndex};
 
-  int listen_fd_ = -1;
-  uint16_t port_ = 0;
+  ListenSocket listener_;
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
 
@@ -247,12 +250,12 @@ class QueryServer {
   // detached; Stop() waits for active_connections_ to drain after shutting
   // their sockets down, which gives join semantics without a growing
   // vector of joinable handles on a long-lived daemon.
-  mutable std::mutex mu_;
-  std::condition_variable stop_cv_;
-  std::condition_variable drain_cv_;
-  bool stop_requested_ = false;
-  std::unordered_set<int> conn_fds_;
-  size_t active_connections_ = 0;
+  mutable Mutex mu_{LockRank::kServerLifecycle};
+  CondVar stop_cv_;
+  CondVar drain_cv_;
+  bool stop_requested_ QBS_GUARDED_BY(mu_) = false;
+  std::unordered_set<int> conn_fds_ QBS_GUARDED_BY(mu_);
+  size_t active_connections_ QBS_GUARDED_BY(mu_) = 0;
 
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> updates_{0};

@@ -26,7 +26,28 @@ int32_t RemainingMs(Clock::time_point deadline) {
   return left <= 0 ? 0 : static_cast<int32_t>(left);
 }
 
+// strerror_r has two incompatible signatures (XSI returns int and fills the
+// buffer; GNU returns the message pointer); overloads on the return type
+// pick the right interpretation at compile time. Each libc uses exactly one,
+// so the other overload is always unused.
+[[maybe_unused]] std::string StrerrorResult(int rc, const char* buf,
+                                            int errnum) {
+  return rc == 0 ? std::string(buf)
+                 : "errno " + std::to_string(errnum);
+}
+[[maybe_unused]] std::string StrerrorResult(const char* msg,
+                                            const char* /*buf*/,
+                                            int /*errnum*/) {
+  return msg;
+}
+
 }  // namespace
+
+std::string ErrnoString(int errnum) {
+  char buf[256];
+  buf[0] = '\0';
+  return StrerrorResult(strerror_r(errnum, buf, sizeof(buf)), buf, errnum);
+}
 
 const char* IoStatusName(IoStatus status) {
   switch (status) {
@@ -61,7 +82,7 @@ Socket Socket::ConnectTcp(const std::string& host, uint16_t port,
                           std::string* error) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    if (error != nullptr) *error = std::string("socket: ") + strerror(errno);
+    if (error != nullptr) *error = std::string("socket: ") + ErrnoString(errno);
     return Socket();
   }
   sockaddr_in addr{};
@@ -78,7 +99,9 @@ Socket Socket::ConnectTcp(const std::string& host, uint16_t port,
                    sizeof(addr));
   } while (rc != 0 && errno == EINTR);
   if (rc != 0) {
-    if (error != nullptr) *error = std::string("connect: ") + strerror(errno);
+    if (error != nullptr) {
+      *error = std::string("connect: ") + ErrnoString(errno);
+    }
     ::close(fd);
     return Socket();
   }
@@ -193,6 +216,78 @@ IoStatus Socket::RecvSome(uint8_t* buf, size_t capacity, size_t* received,
     *received = static_cast<size_t>(n);
     return IoStatus::kOk;
   }
+}
+
+bool ListenSocket::Open(const std::string& host, uint16_t port,
+                        std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + ErrnoString(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad listen address: " + host;
+    CloseFd(fd);
+    return false;
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error != nullptr) *error = std::string("bind: ") + ErrnoString(errno);
+    CloseFd(fd);
+    return false;
+  }
+  if (::listen(fd, 128) != 0) {
+    if (error != nullptr) *error = std::string("listen: ") + ErrnoString(errno);
+    CloseFd(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    if (error != nullptr) {
+      *error = std::string("getsockname: ") + ErrnoString(errno);
+    }
+    CloseFd(fd);
+    return false;
+  }
+  fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  return true;
+}
+
+int ListenSocket::Accept() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    return -1;  // listener shut down, or unrecoverable
+  }
+}
+
+void ListenSocket::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void ListenSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void ShutdownFd(int fd) {
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
 }
 
 }  // namespace qbs::server

@@ -1,0 +1,87 @@
+#include "util/sync.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qbs::sync_internal {
+namespace {
+
+// Per-thread stack of held locks. Fixed capacity: the project's deepest
+// legitimate nesting is four (server lifecycle -> index -> cache shard /
+// pool -> pool queue); 32 leaves generous headroom for tests.
+constexpr int kMaxHeldLocks = 32;
+
+struct HeldLock {
+  const void* mu;
+  LockRank rank;
+};
+
+thread_local HeldLock t_held[kMaxHeldLocks];
+thread_local int t_held_count = 0;
+
+[[noreturn]] void RankCheckFail(const char* what, LockRank acquiring,
+                                LockRank held) {
+  // stderr + abort, matching the QBS_CHECK family in util/check.h; fprintf
+  // keeps this safe to call while locks are held (no iostream locale
+  // machinery).
+  std::fprintf(stderr,
+               "qbs sync: %s: acquiring '%s' (rank %d) while holding '%s' "
+               "(rank %d); locks must be acquired in strictly increasing "
+               "LockRank order (see docs/ARCHITECTURE.md, Concurrency "
+               "contracts)\n",
+               what, LockRankName(acquiring), static_cast<int>(acquiring),
+               LockRankName(held), static_cast<int>(held));
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void PushLockRank(const void* mu, LockRank rank, bool check_order) {
+  for (int i = 0; i < t_held_count; ++i) {
+    if (t_held[i].mu == mu) {
+      std::fprintf(stderr,
+                   "qbs sync: re-entrant acquisition of '%s' (rank %d): this "
+                   "thread already holds the same mutex\n",
+                   LockRankName(rank), static_cast<int>(rank));
+      std::fflush(stderr);
+      std::abort();
+    }
+  }
+  if (check_order && rank != LockRank::kUnranked) {
+    for (int i = 0; i < t_held_count; ++i) {
+      const LockRank held = t_held[i].rank;
+      if (held != LockRank::kUnranked && held >= rank) {
+        RankCheckFail("lock-rank inversion", rank, held);
+      }
+    }
+  }
+  if (t_held_count >= kMaxHeldLocks) {
+    std::fprintf(stderr,
+                 "qbs sync: held-lock stack overflow (%d locks held by one "
+                 "thread)\n",
+                 t_held_count);
+    std::fflush(stderr);
+    std::abort();
+  }
+  t_held[t_held_count++] = HeldLock{mu, rank};
+}
+
+void PopLockRank(const void* mu) {
+  // Locks are usually released in LIFO order, but out-of-order release is
+  // legal (it cannot deadlock), so search from the top.
+  for (int i = t_held_count - 1; i >= 0; --i) {
+    if (t_held[i].mu == mu) {
+      for (int j = i; j + 1 < t_held_count; ++j) t_held[j] = t_held[j + 1];
+      --t_held_count;
+      return;
+    }
+  }
+  std::fprintf(stderr,
+               "qbs sync: releasing a mutex this thread does not hold "
+               "(push/pop pairing bug)\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace qbs::sync_internal

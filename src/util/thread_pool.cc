@@ -38,10 +38,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   for (auto& w : workers_) {
     w.join();
   }
@@ -50,7 +50,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Schedule(std::function<void()> task) {
   size_t target;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     QBS_CHECK(!shutdown_);
     ++queued_;
     ++pending_;
@@ -60,15 +60,16 @@ void ThreadPool::Schedule(std::function<void()> task) {
       tls_worker.pool == this && tls_worker.index < queues_.size();
   if (local) target = tls_worker.index;
   {
-    std::unique_lock<std::mutex> qlock(queues_[target]->mu);
+    WorkerQueue& queue = *queues_[target];
+    MutexLock qlock(queue.mu);
     if (local) {
-      queues_[target]->tasks.push_front(std::move(task));  // LIFO for owner
+      queue.tasks.push_front(std::move(task));  // LIFO for owner
     } else {
-      queues_[target]->tasks.push_back(std::move(task));
+      queue.tasks.push_back(std::move(task));
     }
   }
-  wake_.notify_one();
-  event_.notify_all();
+  wake_.NotifyOne();
+  event_.NotifyAll();
 }
 
 bool ThreadPool::PopOrSteal(size_t home, std::function<void()>* task) {
@@ -76,10 +77,11 @@ bool ThreadPool::PopOrSteal(size_t home, std::function<void()>* task) {
   // Own deque first, LIFO: the task most recently pushed here is the
   // cache-warmest.
   if (home != kNoHome) {
-    std::unique_lock<std::mutex> qlock(queues_[home]->mu);
-    if (!queues_[home]->tasks.empty()) {
-      *task = std::move(queues_[home]->tasks.front());
-      queues_[home]->tasks.pop_front();
+    WorkerQueue& queue = *queues_[home];
+    MutexLock qlock(queue.mu);
+    if (!queue.tasks.empty()) {
+      *task = std::move(queue.tasks.front());
+      queue.tasks.pop_front();
       return true;
     }
   }
@@ -87,10 +89,11 @@ bool ThreadPool::PopOrSteal(size_t home, std::function<void()>* task) {
   for (size_t off = 0; off < n; ++off) {
     const size_t victim = home == kNoHome ? off : (home + 1 + off) % n;
     if (victim == home) continue;
-    std::unique_lock<std::mutex> qlock(queues_[victim]->mu);
-    if (!queues_[victim]->tasks.empty()) {
-      *task = std::move(queues_[victim]->tasks.back());
-      queues_[victim]->tasks.pop_back();
+    WorkerQueue& queue = *queues_[victim];
+    MutexLock qlock(queue.mu);
+    if (!queue.tasks.empty()) {
+      *task = std::move(queue.tasks.back());
+      queue.tasks.pop_back();
       return true;
     }
   }
@@ -99,15 +102,15 @@ bool ThreadPool::PopOrSteal(size_t home, std::function<void()>* task) {
 
 void ThreadPool::RunTask(std::function<void()>* task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --queued_;
   }
   (*task)();
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --pending_;
   }
-  event_.notify_all();
+  event_.NotifyAll();
 }
 
 void ThreadPool::WorkerLoop(size_t index) {
@@ -118,8 +121,8 @@ void ThreadPool::WorkerLoop(size_t index) {
       RunTask(&task);
       continue;
     }
-    std::unique_lock<std::mutex> lock(mu_);
-    wake_.wait(lock, [this] { return shutdown_ || queued_ > 0; });
+    MutexLock lock(mu_);
+    while (!shutdown_ && queued_ == 0) wake_.Wait(mu_);
     if (shutdown_ && queued_ == 0) return;
   }
 }
@@ -136,17 +139,20 @@ bool ThreadPool::TryRunOne() {
 void ThreadPool::HelpWhile(const std::function<bool()>& done) {
   while (!done()) {
     if (TryRunOne()) continue;
-    std::unique_lock<std::mutex> lock(mu_);
-    // Park until a task is queued or finishes; the timeout re-checks
+    MutexLock lock(mu_);
+    // Park until a task is queued or finishes; the deadline re-checks
     // `done` in case its state changed without a pool event.
-    event_.wait_for(lock, std::chrono::milliseconds(1),
-                    [this] { return queued_ > 0 || shutdown_; });
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(1);
+    while (queued_ == 0 && !shutdown_) {
+      if (!event_.WaitUntil(mu_, deadline)) break;
+    }
   }
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  event_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mu_);
+  while (pending_ != 0) event_.Wait(mu_);
 }
 
 ThreadPool& ThreadPool::Shared() {

@@ -15,14 +15,14 @@
 #ifndef QBS_UTIL_THREAD_POOL_H_
 #define QBS_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace qbs {
 
@@ -66,8 +66,8 @@ class ThreadPool {
 
  private:
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    Mutex mu{LockRank::kThreadPoolQueue};
+    std::deque<std::function<void()>> tasks QBS_GUARDED_BY(mu);
   };
 
   void WorkerLoop(size_t index);
@@ -78,14 +78,18 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 
   // Guards sleep/wake and completion signalling; counters are read under it
-  // in wait predicates.
-  std::mutex mu_;
-  std::condition_variable wake_;   // workers: new task or shutdown
-  std::condition_variable event_;  // waiters: task completed or scheduled
-  size_t queued_ = 0;              // tasks sitting in deques
-  size_t pending_ = 0;             // scheduled but not yet finished
-  size_t next_queue_ = 0;          // round-robin cursor for external pushes
-  bool shutdown_ = false;
+  // in wait loops. Pool locks are leaves of the lock order (tasks execute
+  // with no pool lock held, and callers — notably ApplyUpdates under the
+  // index writer lock — reach Schedule/HelpWhile with lower-ranked locks
+  // held), so pool tasks must only acquire ranks above kIndex.
+  Mutex mu_{LockRank::kThreadPool};
+  CondVar wake_;   // workers: new task or shutdown
+  CondVar event_;  // waiters: task completed or scheduled
+  size_t queued_ QBS_GUARDED_BY(mu_) = 0;   // tasks sitting in deques
+  size_t pending_ QBS_GUARDED_BY(mu_) = 0;  // scheduled but not yet finished
+  // Round-robin cursor for external pushes.
+  size_t next_queue_ QBS_GUARDED_BY(mu_) = 0;
+  bool shutdown_ QBS_GUARDED_BY(mu_) = false;
 };
 
 struct ParallelForOptions {

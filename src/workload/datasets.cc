@@ -118,6 +118,9 @@ std::string AvailableDatasetNames() {
 }
 
 std::string DefaultDataDir() {
+  // Read once during dataset resolution, before any worker threads exist;
+  // nothing in the process calls setenv.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("QBS_DATA_DIR");
   return env == nullptr || *env == '\0' ? std::string("data")
                                         : std::string(env);

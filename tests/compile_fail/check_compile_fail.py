@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compile-failure harness for the util/sync.h thread-safety annotations.
+
+The point of the annotations is that unguarded access is a BUILD error, so
+the test for them must assert that specific snippets fail to compile — a
+passing unit test can't prove that. Each *.fail.cc snippet must (a) fail
+`clang -fsyntax-only -Werror=thread-safety-analysis` and (b) produce
+diagnostics matching every `// EXPECT-ERROR: <regex>` line it declares, so
+a snippet can't "fail" for an unrelated reason (typo, missing include) and
+silently stop guarding anything. Each *.ok.cc snippet must compile clean,
+pinning down that the annotations don't reject the sanctioned patterns.
+
+Usage: check_compile_fail.py <compiler> <src_include_dir> <snippet_dir>
+
+Only meaningful under clang (gcc ignores the annotations); the CMake
+registration gates on CMAKE_CXX_COMPILER_ID.
+"""
+
+import pathlib
+import re
+import subprocess
+import sys
+
+
+def run_snippet(compiler, include_dir, snippet):
+    cmd = [
+        compiler,
+        "-std=c++20",
+        "-fsyntax-only",
+        "-I",
+        include_dir,
+        "-Wthread-safety",
+        "-Werror=thread-safety-analysis",
+        str(snippet),
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+
+    problems = []
+    if snippet.name.endswith(".fail.cc"):
+        expected = re.findall(r"//\s*EXPECT-ERROR:\s*(.+)", snippet.read_text())
+        if not expected:
+            problems.append(f"{snippet.name}: no EXPECT-ERROR lines declared")
+        if proc.returncode == 0:
+            problems.append(
+                f"{snippet.name}: compiled CLEAN but must fail "
+                "(thread-safety annotation lost its teeth)"
+            )
+        else:
+            for pattern in expected:
+                if not re.search(pattern.strip(), proc.stderr):
+                    problems.append(
+                        f"{snippet.name}: diagnostics did not match "
+                        f"/{pattern.strip()}/\n--- stderr ---\n{proc.stderr}"
+                    )
+    else:
+        if proc.returncode != 0:
+            problems.append(
+                f"{snippet.name}: must compile clean but failed:\n"
+                f"--- stderr ---\n{proc.stderr}"
+            )
+    return problems
+
+
+def main():
+    if len(sys.argv) != 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    compiler, include_dir, snippet_dir = sys.argv[1:4]
+    snippets = sorted(
+        p
+        for p in pathlib.Path(snippet_dir).glob("*.cc")
+        if p.name.endswith(".fail.cc") or p.name.endswith(".ok.cc")
+    )
+    if not snippets:
+        print(f"no *.fail.cc / *.ok.cc snippets in {snippet_dir}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for snippet in snippets:
+        failures.extend(run_snippet(compiler, include_dir, snippet))
+
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        print(f"\n{len(failures)} compile-fail check(s) failed", file=sys.stderr)
+        return 1
+    print(f"{len(snippets)} snippets behaved as declared")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+// Sanctioned patterns must compile clean under -Werror=thread-safety-analysis:
+// guarded access under MutexLock, shared reads under ReaderLock, a REQUIRES
+// helper called with the lock held, and a CondVar wait loop.
+
+#include "util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    qbs::MutexLock lock(mu_);
+    ++value_;
+    cv_.NotifyAll();
+  }
+
+  void WaitForPositive() {
+    qbs::MutexLock lock(mu_);
+    while (value_ <= 0) cv_.Wait(mu_);
+  }
+
+  int GetLocked() const QBS_REQUIRES(mu_) { return value_; }
+
+  int Get() const {
+    qbs::MutexLock lock(mu_);
+    return GetLocked();
+  }
+
+ private:
+  mutable qbs::Mutex mu_;
+  qbs::CondVar cv_;
+  int value_ QBS_GUARDED_BY(mu_) = 0;
+};
+
+class Registry {
+ public:
+  int Read() const {
+    qbs::ReaderLock lock(mu_);
+    return size_;
+  }
+
+  void Write(int size) {
+    qbs::WriterLock lock(mu_);
+    size_ = size;
+  }
+
+ private:
+  mutable qbs::SharedMutex mu_;
+  int size_ QBS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  Registry r;
+  r.Write(c.Get());
+  return r.Read();
+}

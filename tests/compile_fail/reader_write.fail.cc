@@ -1,0 +1,28 @@
+// A ReaderLock grants only the shared capability: writing through it must
+// not compile (this is the static half of the reader/writer protocol the
+// server's index_mu_ relies on).
+// EXPECT-ERROR: 'size_' requires holding mutex 'mu_' exclusively
+
+#include "util/sync.h"
+
+namespace {
+
+class Registry {
+ public:
+  void Bump() {
+    qbs::ReaderLock lock(mu_);
+    ++size_;  // shared capability only
+  }
+
+ private:
+  qbs::SharedMutex mu_;
+  int size_ QBS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Registry r;
+  r.Bump();
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Calling a QBS_REQUIRES function without the capability must not compile.
+// EXPECT-ERROR: calling function 'GetLocked' requires holding mutex 'mu_'
+
+#include "util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  int GetLocked() const QBS_REQUIRES(mu_) { return value_; }
+
+  int Get() const {
+    return GetLocked();  // lock not held
+  }
+
+ private:
+  mutable qbs::Mutex mu_;
+  int value_ QBS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.Get();
+}

@@ -1,0 +1,25 @@
+// Writing a guarded field without holding its mutex must not compile.
+// EXPECT-ERROR: writing variable 'value_' requires holding mutex 'mu_'
+
+#include "util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    ++value_;  // no lock
+  }
+
+ private:
+  qbs::Mutex mu_;
+  int value_ QBS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}
