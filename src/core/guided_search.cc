@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/label_scan.h"
 #include "util/check.h"
 
 namespace qbs {
@@ -52,14 +53,20 @@ GuidedSearcher::GuidedSearcher(const Graph& g, const Graph& sparsified,
 }
 
 ShortestPathGraph GuidedSearcher::Query(VertexId u, VertexId v,
-                                        SearchStats* stats) {
+                                        SearchStats* stats,
+                                        const LabelBound* certify) {
   if (u != v && labeling_.has_bp_masks()) {
-    // One label-row scan feeds both the certification check and, on
-    // fall-through, the sketch (reuse_candidates below).
+    // Certify-level bound: handed in by a batch caller (who computed it
+    // through the SIMD batch kernel), or one kernel-dispatched fused row
+    // scan here. Certified pairs finish without ever scanning candidates.
+    const LabelBound bound =
+        certify != nullptr
+            ? *certify
+            : ComputeLabelBound(labeling_, meta_, u, v, /*refine_cutoff=*/2);
+    ShortestPathGraph result;
+    if (TryLabelFastPath(u, v, bound, stats, &result)) return result;
     ComputeAnchorCandidatesInto(labeling_, u, &sketch_buffers_.cu);
     ComputeAnchorCandidatesInto(labeling_, v, &sketch_buffers_.cv);
-    ShortestPathGraph result;
-    if (TryLabelFastPath(u, v, stats, &result)) return result;
     ComputeSketchInto(labeling_, meta_, u, v, &sketch_scratch_,
                       &sketch_buffers_, /*with_meta_edges=*/false,
                       /*reuse_candidates=*/true);
@@ -74,8 +81,7 @@ ShortestPathGraph GuidedSearcher::Query(VertexId u, VertexId v,
       // undercut the sketch bound, and the d⊤ gate skips the whole merge
       // for short searches, whose few small levels cost less than the
       // bound — those run the PR 3 query path unchanged.
-      query_bound_ = ComputeLabelBoundFromCandidates(
-          labeling_, sketch_buffers_.cu, sketch_buffers_.cv, u, v, d_top - 1);
+      query_bound_ = ComputeLabelBoundRows(labeling_, u, v, d_top - 1);
       have_query_bound_ = true;
     }
     lazy_sketch_ = true;
@@ -146,25 +152,14 @@ std::pair<size_t, size_t> GuidedSearcher::EmitShortSpgEdges(
 }
 
 bool GuidedSearcher::TryLabelFastPath(VertexId u, VertexId v,
+                                      const LabelBound& bound,
                                       SearchStats* stats,
                                       ShortestPathGraph* result) {
   QBS_CHECK_LT(u, g_.NumVertices());
   QBS_CHECK_LT(v, g_.NumVertices());
-  // Only certify-level refinement: landmarks whose unrefined candidate
-  // cannot reach 2 skip their mask cache lines, so far pairs pay one label
-  // row scan and nothing else. The candidate rows were filled by Query();
-  // a landmark pair short-cuts through the (exact) meta distance since its
-  // rows cannot share an entry.
-  LabelBound bound;
-  if (labeling_.IsLandmark(u) && labeling_.IsLandmark(v)) {
-    // Landmark pair: the candidate rows cannot share an entry; defer to
-    // ComputeLabelBound's (exact) meta-distance branch.
-    bound = ComputeLabelBound(labeling_, meta_, u, v, /*refine_cutoff=*/2);
-  } else {
-    bound = ComputeLabelBoundFromCandidates(labeling_, sketch_buffers_.cu,
-                                            sketch_buffers_.cv, u, v,
-                                            /*refine_cutoff=*/2);
-  }
+  // `bound` carries only certify-level refinement (cutoff 2): landmarks
+  // whose unrefined candidate cannot reach 2 skipped their mask cache
+  // lines, so far pairs paid one fused row scan and nothing else.
   if (stats != nullptr) stats->d_label_upper = bound.upper;
   if (bound.upper > 2) return false;  // not certified: run the guided search
   QBS_DCHECK(bound.upper >= 1);       // upper == 0 would force u == v
@@ -210,21 +205,11 @@ int GuidedSearcher::PickSide(const Sketch& sketch, const uint32_t d[2]) const {
 
 bool GuidedSearcher::LabelLowerBoundExceeds(VertexId x, VertexId other,
                                             uint32_t threshold) const {
-  const uint32_t k = labeling_.num_landmarks();
-  for (LandmarkIndex i = 0; i < k; ++i) {
-    const DistT dx = labeling_.Get(x, i);
-    if (dx == kInfDist) continue;
-    const DistT dother = labeling_.Get(other, i);
-    if (dother == kInfDist) continue;
-    const uint32_t base = dx > dother ? dx - dother : dother - dx;
-    if (base > threshold) return true;
-    if (base == threshold &&
-        BpMaskLowerLift(labeling_.GetBpMask(x, i),
-                        labeling_.GetBpMask(other, i), dx, dother)) {
-      return true;
-    }
-  }
-  return false;
+  // Kernel-dispatched: the AVX2 variant compares 16 lanes per step and
+  // only reads mask cache lines for lanes sitting exactly at the
+  // threshold, matching this check's scalar access pattern.
+  return RowLowerBoundExceeds(labeling_, x, other, threshold,
+                              ActiveScanOps());
 }
 
 void GuidedSearcher::ExpandLevel(int t, SearchStats* stats) {

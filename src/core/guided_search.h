@@ -62,9 +62,13 @@ class GuidedSearcher {
   // probe / common-neighbour intersection) with zero search, reverse, or
   // recover edge scans; everything else computes the sketch internally and
   // runs the guided search. `stats`, if non-null, receives the per-query
-  // counters.
-  ShortestPathGraph Query(VertexId u, VertexId v,
-                          SearchStats* stats = nullptr);
+  // counters. `certify`, if non-null, must be
+  // ComputeLabelBound(labeling, meta, u, v, /*refine_cutoff=*/2) for this
+  // exact pair — batch callers (QbsIndex::QueryBatch) precompute it through
+  // the SIMD batch kernel so the fast-path check costs no per-query row
+  // scan here.
+  ShortestPathGraph Query(VertexId u, VertexId v, SearchStats* stats = nullptr,
+                          const LabelBound* certify = nullptr);
 
   // As Query(), but with a caller-supplied sketch (exposed for tests and
   // phase microbenchmarks).
@@ -81,15 +85,16 @@ class GuidedSearcher {
   void set_mask_prune(bool enabled) { mask_prune_ = enabled; }
 
  private:
-  // The label-certified d <= 2 fast path. Returns true and fills *result
-  // (an exact SPG) when ComputeLabelBound certifies d(u, v) <= 2; the SPG
-  // is then a single edge probe or a sorted-adjacency intersection away —
-  // no sketch, search, reverse, or recover work at all. Returns false —
-  // leaving *result untouched — when the labels cannot certify it (the
-  // guided search then resolves the pair, still recover-free when the
-  // distance turns out <= 2).
-  bool TryLabelFastPath(VertexId u, VertexId v, SearchStats* stats,
-                        ShortestPathGraph* result);
+  // The label-certified d <= 2 fast path. `bound` is the pair's certify
+  // bound (refine_cutoff 2), computed by Query() or handed in by a batch
+  // caller. Returns true and fills *result (an exact SPG) when it
+  // certifies d(u, v) <= 2; the SPG is then a single edge probe or a
+  // sorted-adjacency intersection away — no sketch, search, reverse, or
+  // recover work at all. Returns false — leaving *result untouched — when
+  // the labels cannot certify it (the guided search then resolves the
+  // pair, still recover-free when the distance turns out <= 2).
+  bool TryLabelFastPath(VertexId u, VertexId v, const LabelBound& bound,
+                        SearchStats* stats, ShortestPathGraph* result);
 
   // Fills result->edges with the exact SPG of a pair KNOWN to be at
   // distance 1 or 2 (direct edge, or one (u,w) + (w,v) pair per common

@@ -33,8 +33,21 @@
 #include "core/meta_graph.h"
 #include "core/types.h"
 #include "graph/graph.h"
+#include "util/aligned.h"
 
 namespace qbs {
+
+/// Label rows are padded to a multiple of this many DistT lanes (16 lanes
+/// x 2 bytes = one 32-byte AVX2 vector) and the matrix storage is 32-byte
+/// aligned, so the SIMD row kernels (core/label_scan.h) scan whole rows
+/// with full-width aligned loads and no tail loop. Padding lanes always
+/// hold kInfDist — the "entry absent" sentinel — so every kernel can scan
+/// the padded width blindly: an absent lane contributes nothing to any
+/// bound, candidate list, or witness check.
+inline constexpr uint32_t kLabelRowLaneAlign = 16;
+
+/// The dense label matrix storage: 32-byte aligned for the SIMD kernels.
+using LabelMatrix = std::vector<DistT, AlignedAllocator<DistT, 32>>;
 
 /// Per-(vertex, landmark) bit-parallel masks over the landmark's selected
 /// neighbour set S_r (bit j = j-th entry of BpSelected(r)).
@@ -74,12 +87,22 @@ class PathLabeling {
   /// δ_{v, r_i}, or kInfDist if r_i ∉ L(v). Landmarks carry no stored labels
   /// (Definition 4.2 assigns labels to V \ R only).
   DistT Get(VertexId v, LandmarkIndex i) const {
-    return dist_[static_cast<size_t>(v) * num_landmarks() + i];
+    return dist_[static_cast<size_t>(v) * stride_ + i];
   }
 
   void Set(VertexId v, LandmarkIndex i, DistT d) {
-    dist_[static_cast<size_t>(v) * num_landmarks() + i] = d;
+    dist_[static_cast<size_t>(v) * stride_ + i] = d;
   }
+
+  /// The label row of v: `row_stride()` DistT lanes, 32-byte aligned.
+  /// Lanes [num_landmarks(), row_stride()) are padding and always hold
+  /// kInfDist (see kLabelRowLaneAlign) — kernels scan the full stride.
+  const DistT* Row(VertexId v) const {
+    return dist_.data() + static_cast<size_t>(v) * stride_;
+  }
+
+  /// Lanes per row: num_landmarks() rounded up to kLabelRowLaneAlign.
+  uint32_t row_stride() const { return stride_; }
 
   /// Number of finite labelling entries: size(L) = Σ_v |L(v)| (§2).
   uint64_t NumEntries() const;
@@ -93,7 +116,12 @@ class PathLabeling {
 
   /// Bytes of the dense label matrix, the quantity Table 3 reports as
   /// size(L) (the paper stores |R| fixed-width slots per vertex, as we do).
-  uint64_t SizeBytes() const { return dist_.size() * sizeof(DistT); }
+  /// Logical |V| x |R| bytes — row padding is an in-memory layout detail
+  /// and is excluded to keep the number paper-comparable.
+  uint64_t SizeBytes() const {
+    return static_cast<uint64_t>(num_vertices_) * num_landmarks() *
+           sizeof(DistT);
+  }
 
   /// --- Bit-parallel masks (optional; empty unless enabled at build). ---
 
@@ -108,6 +136,13 @@ class PathLabeling {
   }
   void SetBpMask(VertexId v, LandmarkIndex i, const BpMask& m) {
     bp_[static_cast<size_t>(v) * num_landmarks() + i] = m;
+  }
+
+  /// The mask row of v (num_landmarks() entries, unpadded — the kernels
+  /// only gather masks for the few lanes that pass the refine gate).
+  /// Only valid when has_bp_masks().
+  const BpMask* BpRow(VertexId v) const {
+    return bp_.data() + static_cast<size_t>(v) * num_landmarks();
   }
 
   /// S_r of landmark i: the selected non-landmark neighbours, in the bit
@@ -127,9 +162,10 @@ class PathLabeling {
 
  private:
   VertexId num_vertices_ = 0;
+  uint32_t stride_ = 0;  // row lanes: |R| rounded up to kLabelRowLaneAlign
   std::vector<VertexId> landmarks_;
   std::vector<int32_t> landmark_rank_;
-  std::vector<DistT> dist_;
+  LabelMatrix dist_;  // |V| x stride_, 32-byte aligned, padding = kInfDist
   std::vector<BpMask> bp_;  // vertex-major |V| x |R|; empty = disabled
   std::vector<std::vector<VertexId>> bp_selected_;  // S_r per landmark
 };

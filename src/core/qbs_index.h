@@ -67,6 +67,12 @@ struct QbsOptions {
   /// per-vertex lower bounds skip frontier vertices that cannot lie on a
   /// relevant path. Identical answers either way; off for ablation.
   bool mask_prune = true;
+  /// Force the scalar label-scan kernels (core/label_scan.h), the
+  /// programmatic equivalent of QBS_FORCE_SCALAR_SCAN=1. The kernel switch
+  /// is process-wide (SetActiveScanKernel at Build/Load), not per-index;
+  /// answers are bit-identical either way — this exists for ablations and
+  /// for pinning down kernel-specific misbehaviour in the field.
+  bool force_scalar_scan = false;
 };
 
 struct QbsBuildTimings {
@@ -142,6 +148,14 @@ class QbsIndex {
   /// QueryBatch and the `qbs serve` daemon are built on.
   QueryResponse Execute(GuidedSearcher& searcher,
                         const QueryRequest& request) const;
+
+  /// As Execute(), with an optional precomputed certify bound for the
+  /// request's pair — ComputeLabelBound(labeling, meta, u, v, 2), null to
+  /// compute it inline. QueryBatch precomputes these through the SIMD
+  /// batch kernel (ComputeLabelBoundsBatch) so workers skip the per-query
+  /// fast-path row scan.
+  QueryResponse Execute(GuidedSearcher& searcher, const QueryRequest& request,
+                        const LabelBound* certify) const;
 
   /// Deprecated pair-based batch forms, kept as thin wrappers over the
   /// QueryRequest vector form (mode = kSpg, no budget).

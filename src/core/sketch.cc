@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/label_scan.h"
 #include "util/check.h"
 
 namespace qbs {
@@ -14,11 +15,10 @@ void ComputeAnchorCandidatesInto(const PathLabeling& labeling, VertexId t,
     out->push_back(SketchAnchor{static_cast<LandmarkIndex>(rank), 0});
     return;
   }
-  const uint32_t k = labeling.num_landmarks();
-  for (LandmarkIndex i = 0; i < k; ++i) {
-    const DistT d = labeling.Get(t, i);
-    if (d != kInfDist) out->push_back(SketchAnchor{i, d});
-  }
+  // Kernel-dispatched present-lane extraction; padding lanes are kInfDist
+  // and contribute nothing, so scanning the full stride is equivalent to
+  // the per-landmark loop.
+  ActiveScanOps().row_candidates(labeling.Row(t), labeling.row_stride(), out);
 }
 
 std::vector<SketchAnchor> AnchorCandidates(const PathLabeling& labeling,
@@ -152,6 +152,42 @@ LabelBound ComputeLabelBoundFromCandidates(
   return bound;
 }
 
+namespace {
+
+// A (landmark, non-landmark) pair shares at most the landmark's own lane:
+// its virtual (rank, 0) entry against the other side's stored label. One
+// scalar lane of the candidate merge — no vectors, no row scan.
+LabelBound OneLandmarkLabelBound(const PathLabeling& labeling, VertexId u,
+                                 VertexId v, int32_t rank_u, int32_t rank_v,
+                                 uint32_t refine_cutoff) {
+  LabelBound bound;
+  const LandmarkIndex i =
+      static_cast<LandmarkIndex>(rank_u >= 0 ? rank_u : rank_v);
+  const DistT du = rank_u >= 0 ? DistT{0} : labeling.Get(u, i);
+  const DistT dv = rank_v >= 0 ? DistT{0} : labeling.Get(v, i);
+  if (du == kInfDist || dv == kInfDist) return bound;
+  const uint32_t max_refinable = refine_cutoff > kUnreachable - 2
+                                     ? kUnreachable
+                                     : refine_cutoff + 2;
+  const uint32_t base = du > dv ? du - dv : dv - du;
+  bound.lower = base;
+  uint32_t cand = static_cast<uint32_t>(du) + dv;
+  if (labeling.has_bp_masks() && cand <= max_refinable) {
+    const BpMask mu = labeling.GetBpMask(u, i);
+    const BpMask mv = labeling.GetBpMask(v, i);
+    if ((mu.s_minus & mv.s_minus) != 0) {
+      cand -= 2;
+    } else if ((mu.s_minus & mv.s_zero) != 0 || (mu.s_zero & mv.s_minus) != 0) {
+      cand -= 1;
+    }
+    if (BpMaskLowerLift(mu, mv, du, dv)) bound.lower = base + 1;
+  }
+  bound.upper = std::min(bound.upper, cand);
+  return bound;
+}
+
+}  // namespace
+
 LabelBound ComputeLabelBound(const PathLabeling& labeling,
                              const MetaGraph& meta, VertexId u, VertexId v,
                              uint32_t refine_cutoff) {
@@ -167,12 +203,45 @@ LabelBound ComputeLabelBound(const PathLabeling& labeling,
     bound.lower = d == kUnreachable ? 0 : d;
     return bound;
   }
-  // A landmark endpoint contributes its virtual (rank, 0) entry, so the
-  // merge degenerates to the other side's label for that landmark — the
-  // exact distance when present.
-  return ComputeLabelBoundFromCandidates(
-      labeling, AnchorCandidates(labeling, u), AnchorCandidates(labeling, v),
-      u, v, refine_cutoff);
+  if (rank_u >= 0 || rank_v >= 0) {
+    return OneLandmarkLabelBound(labeling, u, v, rank_u, rank_v,
+                                 refine_cutoff);
+  }
+  // Non-landmark pair: the kernel-dispatched fused row scan, bit-identical
+  // to the candidate merge over the same rows.
+  return ComputeLabelBoundRows(labeling, u, v, refine_cutoff);
+}
+
+void ComputeLabelBoundsBatch(const PathLabeling& labeling,
+                             const MetaGraph& meta, const VertexId* us,
+                             const VertexId* vs, size_t n,
+                             uint32_t refine_cutoff, LabelBound* bounds) {
+  // Split off pairs needing the scalar special cases; everything else
+  // streams through the interleaved batch kernel.
+  std::vector<size_t> row_idx;
+  std::vector<VertexId> row_us;
+  std::vector<VertexId> row_vs;
+  row_idx.reserve(n);
+  row_us.reserve(n);
+  row_vs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (labeling.IsLandmark(us[i]) || labeling.IsLandmark(vs[i])) {
+      bounds[i] = ComputeLabelBound(labeling, meta, us[i], vs[i],
+                                    refine_cutoff);
+    } else {
+      row_idx.push_back(i);
+      row_us.push_back(us[i]);
+      row_vs.push_back(vs[i]);
+    }
+  }
+  if (row_idx.empty()) return;
+  std::vector<LabelBound> row_bounds(row_idx.size());
+  ComputeLabelBoundRowsBatch(labeling, row_us.data(), row_vs.data(),
+                             row_idx.size(), refine_cutoff, row_bounds.data(),
+                             ActiveScanOps());
+  for (size_t j = 0; j < row_idx.size(); ++j) {
+    bounds[row_idx[j]] = row_bounds[j];
+  }
 }
 
 void ComputeSketchMetaEdges(const MetaGraph& meta, Sketch* sketch,

@@ -1,0 +1,55 @@
+// A minimal over-aligned allocator for STL containers.
+//
+// The SIMD label-scan kernels (core/label_scan.h) load label rows with
+// full-width aligned vector loads; PathLabeling therefore keeps its dense
+// matrix in a std::vector<DistT, AlignedAllocator<DistT, 32>> whose
+// storage starts on a 32-byte boundary. Combined with the padded row
+// stride (a multiple of 16 DistT lanes = 32 bytes), every row starts
+// aligned.
+
+#ifndef QBS_UTIL_ALIGNED_H_
+#define QBS_UTIL_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+
+namespace qbs {
+
+template <typename T, std::size_t Alignment>
+class AlignedAllocator {
+  static_assert(Alignment >= alignof(T), "alignment below natural");
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment not pow2");
+
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+}  // namespace qbs
+
+#endif  // QBS_UTIL_ALIGNED_H_

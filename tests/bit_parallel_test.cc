@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/bfs_oracle.h"
+#include "core/label_scan.h"
 #include "core/labeling.h"
 #include "core/landmark_selection.h"
 #include "core/qbs_index.h"
@@ -161,7 +162,9 @@ TEST(BitParallelTest, ParallelMatchesSequential) {
 class BitParallelQuery : public ::testing::TestWithParam<BpParam> {};
 
 // The label bounds never disagree with BfsDistances: lower <= d <= upper
-// for every pair sharing a landmark, with or without the mask refinement.
+// for every pair sharing a landmark, with or without the mask refinement —
+// for EVERY compiled scan kernel (scalar, AVX2) and the batched sweep,
+// which must all also agree with each other bit for bit.
 TEST_P(BitParallelQuery, LabelBoundsNeverDisagreeWithBfs) {
   const auto& p = GetParam();
   Graph g = FamilyGraph(p.family, p.seed);
@@ -170,20 +173,53 @@ TEST_P(BitParallelQuery, LabelBoundsNeverDisagreeWithBfs) {
   QbsIndex index = QbsIndex::Build(g, options);
   const PathLabeling& l = index.labeling();
 
+  std::vector<VertexId> us;
+  std::vector<VertexId> vs;
+  std::vector<uint32_t> dists;
   for (const auto& [u, v] : SampleQueryPairs(g, 120, p.seed)) {
     if (u == v) continue;
-    const auto du = BfsDistances(g, u);
-    const uint32_t d = du[v];
-    const LabelBound bound =
-        ComputeLabelBound(l, index.meta_graph(), u, v);
-    if (d != kUnreachable) {
-      EXPECT_LE(bound.lower, d) << "u=" << u << " v=" << v;
-      EXPECT_GE(index.DistanceUpperBound(u, v), d);
-    }
-    if (bound.upper != kUnreachable) {
-      EXPECT_GE(bound.upper, d) << "u=" << u << " v=" << v;
+    us.push_back(u);
+    vs.push_back(v);
+    dists.push_back(BfsDistances(g, u)[v]);
+  }
+
+  const ScanKernel saved = ActiveScanKernel();
+  std::vector<LabelBound> first_kernel_bounds;
+  for (const ScanKernel kernel : SupportedScanKernels()) {
+    SetActiveScanKernel(kernel);
+    const char* kname = ScanOpsFor(kernel).name;
+    std::vector<LabelBound> batched(us.size());
+    ComputeLabelBoundsBatch(l, index.meta_graph(), us.data(), vs.data(),
+                            us.size(), kUnreachable, batched.data());
+    for (size_t i = 0; i < us.size(); ++i) {
+      const VertexId u = us[i];
+      const VertexId v = vs[i];
+      const uint32_t d = dists[i];
+      const LabelBound bound = ComputeLabelBound(l, index.meta_graph(), u, v);
+      if (d != kUnreachable) {
+        EXPECT_LE(bound.lower, d) << kname << " u=" << u << " v=" << v;
+        EXPECT_GE(index.DistanceUpperBound(u, v), d) << kname;
+      }
+      if (bound.upper != kUnreachable) {
+        EXPECT_GE(bound.upper, d) << kname << " u=" << u << " v=" << v;
+      }
+      // The batched sweep is the same bound, and every kernel agrees with
+      // the first (scalar).
+      ASSERT_EQ(batched[i].lower, bound.lower)
+          << kname << " u=" << u << " v=" << v;
+      ASSERT_EQ(batched[i].upper, bound.upper)
+          << kname << " u=" << u << " v=" << v;
+      if (kernel == SupportedScanKernels().front()) {
+        first_kernel_bounds.push_back(bound);
+      } else {
+        ASSERT_EQ(bound.lower, first_kernel_bounds[i].lower)
+            << kname << " u=" << u << " v=" << v;
+        ASSERT_EQ(bound.upper, first_kernel_bounds[i].upper)
+            << kname << " u=" << u << " v=" << v;
+      }
     }
   }
+  SetActiveScanKernel(saved);
 }
 
 // Property test for the mask-lifted lower bound: for every pair reachable
@@ -203,26 +239,33 @@ TEST_P(BitParallelQuery, LowerBoundNeverExceedsBfsDistances) {
        s += g.NumVertices() / 8 + 1) {
     sources.push_back(s);
   }
-  size_t lifted = 0;
-  for (const VertexId s : sources) {
-    const auto dist = BfsDistances(g, s);
-    for (VertexId t = 0; t < g.NumVertices(); ++t) {
-      if (s == t) continue;
-      const LabelBound bound = ComputeLabelBound(l, index.meta_graph(), s, t);
-      if (dist[t] != kUnreachable) {
-        ASSERT_LE(bound.lower, dist[t]) << "s=" << s << " t=" << t;
-        if (bound.upper != kUnreachable) {
-          ASSERT_GE(bound.upper, dist[t]) << "s=" << s << " t=" << t;
+  const ScanKernel saved = ActiveScanKernel();
+  for (const ScanKernel kernel : SupportedScanKernels()) {
+    SetActiveScanKernel(kernel);
+    const char* kname = ScanOpsFor(kernel).name;
+    size_t lifted = 0;
+    for (const VertexId s : sources) {
+      const auto dist = BfsDistances(g, s);
+      for (VertexId t = 0; t < g.NumVertices(); ++t) {
+        if (s == t) continue;
+        const LabelBound bound = ComputeLabelBound(l, index.meta_graph(), s, t);
+        if (dist[t] != kUnreachable) {
+          ASSERT_LE(bound.lower, dist[t]) << kname << " s=" << s << " t=" << t;
+          if (bound.upper != kUnreachable) {
+            ASSERT_GE(bound.upper, dist[t])
+                << kname << " s=" << s << " t=" << t;
+          }
+        } else {
+          // Disconnected pairs share no landmark: nothing to bound.
+          ASSERT_EQ(bound.lower, 0u) << kname;
+          ASSERT_EQ(bound.upper, kUnreachable) << kname;
         }
-      } else {
-        // Disconnected pairs share no landmark: nothing to bound.
-        ASSERT_EQ(bound.lower, 0u);
-        ASSERT_EQ(bound.upper, kUnreachable);
+        if (bound.lower > 0 && bound.lower == dist[t]) ++lifted;
       }
-      if (bound.lower > 0 && bound.lower == dist[t]) ++lifted;
     }
+    EXPECT_GT(lifted, 0u) << kname;  // the bound is tight somewhere
   }
-  EXPECT_GT(lifted, 0u);  // the bound is tight somewhere
+  SetActiveScanKernel(saved);
 }
 
 // d <= 2 queries never scan a reverse or recover edge: label-certified
